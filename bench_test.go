@@ -1,0 +1,408 @@
+// Package gridqr's top-level benchmarks: one per table and figure of the
+// paper's evaluation, plus wall-clock benchmarks of the real kernels.
+//
+// The Figure/Table benchmarks run the distributed algorithms in cost-only
+// virtual time on the simulated Grid'5000 platform and report the paper's
+// metric (Gflop/s) for representative points of each sweep via
+// b.ReportMetric; `go run ./cmd/gridbench` regenerates the full sweeps.
+// The kernel benchmarks (BenchmarkLocalQR, BenchmarkStackQR,
+// BenchmarkParallelTSQR, ...) measure the actual numerical code on the
+// host machine.
+package gridqr
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gridqr/internal/bench"
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/perfmodel"
+	"gridqr/internal/scalapack"
+	"gridqr/internal/subspace"
+)
+
+// reportRun executes one simulated experiment point per iteration and
+// reports measured and model Gflop/s.
+func reportRun(b *testing.B, r bench.Run) {
+	b.Helper()
+	var meas bench.Measurement
+	for i := 0; i < b.N; i++ {
+		meas = bench.Execute(r)
+	}
+	b.ReportMetric(meas.Gflops, "Gflop/s")
+	b.ReportMetric(meas.ModelGflops, "model-Gflop/s")
+	b.ReportMetric(float64(meas.Counters.Inter().Msgs), "inter-msgs")
+}
+
+// BenchmarkTableI reproduces Table I (R-factor only): both algorithms on
+// the full 4-site grid, with message/volume/flop counters reported.
+func BenchmarkTableI(b *testing.B) {
+	g := grid.Grid5000()
+	for _, algo := range []bench.Algorithm{bench.ScaLAPACK, bench.TSQR} {
+		b.Run(algo.String(), func(b *testing.B) {
+			var meas bench.Measurement
+			for i := 0; i < b.N; i++ {
+				meas = bench.Execute(bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+					Algo: algo, Tree: core.TreeGrid})
+			}
+			t := meas.Counters.Total()
+			b.ReportMetric(float64(t.Msgs), "msgs")
+			b.ReportMetric(t.Bytes, "bytes")
+			b.ReportMetric(meas.Counters.Flops/256, "flops/proc")
+		})
+	}
+}
+
+// BenchmarkTableII is Table I's Q-and-R variant (paper Table II).
+func BenchmarkTableII(b *testing.B) {
+	g := grid.Grid5000()
+	for _, algo := range []bench.Algorithm{bench.ScaLAPACK, bench.TSQR} {
+		b.Run(algo.String(), func(b *testing.B) {
+			var meas bench.Measurement
+			for i := 0; i < b.N; i++ {
+				meas = bench.Execute(bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+					Algo: algo, Tree: core.TreeGrid, WantQ: true})
+			}
+			t := meas.Counters.Total()
+			b.ReportMetric(float64(t.Msgs), "msgs")
+			b.ReportMetric(t.Bytes, "bytes")
+			b.ReportMetric(meas.Counters.Flops/256, "flops/proc")
+		})
+	}
+}
+
+// BenchmarkFig1Fig2Messages reproduces the Fig. 1 / Fig. 2 inter-cluster
+// message-count comparison on the 3-cluster example.
+func BenchmarkFig1Fig2Messages(b *testing.B) {
+	var c bench.MessageComparison
+	for i := 0; i < b.N; i++ {
+		c = bench.CompareMessages(3, 2, 600, 3)
+	}
+	b.ReportMetric(float64(c.ScaLAPACKInter), "scalapack-inter")
+	b.ReportMetric(float64(c.TSQRGridInter), "tsqr-grid-inter")
+	b.ReportMetric(float64(c.OptimalInter), "optimal")
+}
+
+// BenchmarkFig4 samples Figure 4 (ScaLAPACK performance): each (N, sites)
+// panel at a representative tall M.
+func BenchmarkFig4(b *testing.B) {
+	g := grid.Grid5000()
+	for _, n := range []int{64, 512} {
+		for _, sites := range []int{1, 4} {
+			m := bench.MSweep(n)[len(bench.MSweep(n))-1]
+			b.Run(fmt.Sprintf("N%d/sites%d", n, sites), func(b *testing.B) {
+				reportRun(b, bench.Run{Grid: g, Sites: sites, M: m, N: n, Algo: bench.ScaLAPACK})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5 samples Figure 5 (TSQR performance, tuned tree).
+func BenchmarkFig5(b *testing.B) {
+	g := grid.Grid5000()
+	for _, n := range []int{64, 512} {
+		for _, sites := range []int{1, 4} {
+			m := bench.MSweep(n)[len(bench.MSweep(n))-1]
+			b.Run(fmt.Sprintf("N%d/sites%d", n, sites), func(b *testing.B) {
+				reportRun(b, bench.Run{Grid: g, Sites: sites, M: m, N: n,
+					Algo: bench.TSQR, DomainsPerCluster: 64, Tree: core.TreeGrid})
+			})
+		}
+	}
+}
+
+// BenchmarkFig6 samples Figure 6 (domains-per-cluster effect, 4 sites).
+func BenchmarkFig6(b *testing.B) {
+	g := grid.Grid5000()
+	for _, d := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("domains%d", d), func(b *testing.B) {
+			reportRun(b, bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+				Algo: bench.TSQR, DomainsPerCluster: d, Tree: core.TreeGrid})
+		})
+	}
+}
+
+// BenchmarkFig7 samples Figure 7 (domain effect on one site, N = 64 and
+// N = 512).
+func BenchmarkFig7(b *testing.B) {
+	g := grid.Grid5000()
+	for _, n := range []int{64, 512} {
+		for _, d := range []int{1, 32, 64} {
+			b.Run(fmt.Sprintf("N%d/domains%d", n, d), func(b *testing.B) {
+				reportRun(b, bench.Run{Grid: g, Sites: 1, M: 1 << 20, N: n,
+					Algo: bench.TSQR, DomainsPerCluster: d, Tree: core.TreeGrid})
+			})
+		}
+	}
+}
+
+// BenchmarkFig8 samples Figure 8 (best TSQR vs best ScaLAPACK) at the
+// paper's headline point.
+func BenchmarkFig8(b *testing.B) {
+	g := grid.Grid5000()
+	m, n := 1<<23, 64
+	b.Run("TSQR-best", func(b *testing.B) {
+		var best bench.Measurement
+		for i := 0; i < b.N; i++ {
+			best = bench.Measurement{}
+			for _, sites := range []int{1, 2, 4} {
+				r := bench.Execute(bench.Run{Grid: g, Sites: sites, M: m, N: n,
+					Algo: bench.TSQR, DomainsPerCluster: 64, Tree: core.TreeGrid})
+				if r.Gflops > best.Gflops {
+					best = r
+				}
+			}
+		}
+		b.ReportMetric(best.Gflops, "Gflop/s")
+	})
+	b.Run("ScaLAPACK-best", func(b *testing.B) {
+		var best bench.Measurement
+		for i := 0; i < b.N; i++ {
+			best = bench.Measurement{}
+			for _, sites := range []int{1, 2, 4} {
+				r := bench.Execute(bench.Run{Grid: g, Sites: sites, M: m, N: n, Algo: bench.ScaLAPACK})
+				if r.Gflops > best.Gflops {
+					best = r
+				}
+			}
+		}
+		b.ReportMetric(best.Gflops, "Gflop/s")
+	})
+}
+
+// BenchmarkTreeAblation compares the reduction-tree shapes of the ablation
+// study at one representative point: the tuned grid tree versus the
+// topology-oblivious alternatives.
+func BenchmarkTreeAblation(b *testing.B) {
+	g := grid.Grid5000()
+	for _, tree := range []core.Tree{core.TreeGrid, core.TreeBinary, core.TreeFlat, core.TreeBinaryShuffled} {
+		b.Run(tree.String(), func(b *testing.B) {
+			reportRun(b, bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+				Algo: bench.TSQR, DomainsPerCluster: 16, Tree: tree})
+		})
+	}
+}
+
+// BenchmarkPropertyQR measures Property 1: Q+R costs about twice R-only.
+func BenchmarkPropertyQR(b *testing.B) {
+	g := grid.Grid5000()
+	var r, qr bench.Measurement
+	for i := 0; i < b.N; i++ {
+		r = bench.Execute(bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+			Algo: bench.TSQR, Tree: core.TreeGrid})
+		qr = bench.Execute(bench.Run{Grid: g, Sites: 4, M: 1 << 22, N: 64,
+			Algo: bench.TSQR, Tree: core.TreeGrid, WantQ: true})
+	}
+	b.ReportMetric(qr.Seconds/r.Seconds, "QR/R-time-ratio")
+}
+
+// --- Real-compute wall-clock benchmarks ---
+
+// BenchmarkLocalQR measures the blocked Householder QR kernel on a
+// tall-and-skinny block, the leaf operation of TSQR.
+func BenchmarkLocalQR(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		m := 1 << 16
+		b.Run(fmt.Sprintf("%dx%d", m, n), func(b *testing.B) {
+			a := matrix.Random(m, n, 1)
+			tau := make([]float64, n)
+			f := matrix.New(m, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Copy(f, a)
+				lapack.Dgeqrf(f, tau, 0)
+			}
+			b.ReportMetric(perfmodel.UsefulFlops(m, n, false)/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkStackQR measures the TSQR reduction kernel: the structured QR
+// of two stacked triangles.
+func BenchmarkStackQR(b *testing.B) {
+	for _, n := range []int{64, 512} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			r1 := lapack.TriuCopy(matrix.Random(n, n, 1))
+			r2 := lapack.TriuCopy(matrix.Random(n, n, 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lapack.StackQR(r1, r2)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTSQR measures real in-process TSQR (goroutine ranks,
+// actual arithmetic) against the sequential factorization of the same
+// matrix, reporting the end-to-end wall-clock speedup.
+func BenchmarkParallelTSQR(b *testing.B) {
+	m, n := 1<<19, 64
+	global := matrix.Random(m, n, 3)
+	for _, procs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("procs%d", procs), func(b *testing.B) {
+			g := grid.SmallTestGrid(1, procs, 1)
+			offsets := scalapack.BlockOffsets(m, procs)
+			locals := make([]*matrix.Dense, procs)
+			for r := 0; r < procs; r++ {
+				locals[r] = scalapack.Distribute(global, offsets, r)
+			}
+			scratch := make([]*matrix.Dense, procs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var wg sync.WaitGroup
+				for r := 0; r < procs; r++ {
+					wg.Add(1)
+					go func(r int) { defer wg.Done(); scratch[r] = locals[r].Clone() }(r)
+				}
+				wg.Wait()
+				b.StartTimer()
+				w := mpi.NewWorld(g)
+				w.Run(func(ctx *mpi.Ctx) {
+					in := core.Input{M: m, N: n, Offsets: offsets, Local: scratch[ctx.Rank()]}
+					core.Factorize(mpi.WorldComm(ctx), in, core.Config{Tree: core.TreeGrid})
+				})
+			}
+			b.ReportMetric(perfmodel.UsefulFlops(m, n, false)/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkPDGEQR2Real measures the real-arithmetic ScaLAPACK-style
+// baseline in-process, for wall-clock comparison with BenchmarkParallelTSQR.
+func BenchmarkPDGEQR2Real(b *testing.B) {
+	m, n := 1<<19, 64
+	global := matrix.Random(m, n, 4)
+	procs := 8
+	g := grid.SmallTestGrid(1, procs, 1)
+	offsets := scalapack.BlockOffsets(m, procs)
+	locals := make([]*matrix.Dense, procs)
+	for r := 0; r < procs; r++ {
+		locals[r] = scalapack.Distribute(global, offsets, r)
+	}
+	scratch := make([]*matrix.Dense, procs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for r := 0; r < procs; r++ {
+			scratch[r] = locals[r].Clone()
+		}
+		b.StartTimer()
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			in := scalapack.Input{M: m, N: n, Offsets: offsets, Local: scratch[ctx.Rank()]}
+			scalapack.PDGEQR2(mpi.WorldComm(ctx), in)
+		})
+	}
+	b.ReportMetric(perfmodel.UsefulFlops(m, n, false)/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+}
+
+// BenchmarkCAQRReal measures real-arithmetic CAQR on a general matrix.
+func BenchmarkCAQRReal(b *testing.B) {
+	m, n, nb := 2048, 512, 64
+	global := matrix.Random(m, n, 5)
+	procs := 8
+	g := grid.SmallTestGrid(2, 4, 1)
+	offsets := scalapack.BlockOffsets(m, procs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		scratch := make([]*matrix.Dense, procs)
+		for r := 0; r < procs; r++ {
+			scratch[r] = scalapack.Distribute(global, offsets, r)
+		}
+		b.StartTimer()
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			in := core.Input{M: m, N: n, Offsets: offsets, Local: scratch[ctx.Rank()]}
+			core.CAQRFactorize(mpi.WorldComm(ctx), in, core.CAQRConfig{NB: nb})
+		})
+	}
+	b.ReportMetric(perfmodel.UsefulFlops(m, n, false)/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+}
+
+// BenchmarkTSLU measures tournament-pivoting LU end to end (real
+// arithmetic) on a two-cluster world.
+func BenchmarkTSLU(b *testing.B) {
+	m, n := 1<<16, 32
+	global := matrix.Random(m, n, 6)
+	procs := 8
+	g := grid.SmallTestGrid(2, 4, 1)
+	offsets := scalapack.BlockOffsets(m, procs)
+	locals := make([]*matrix.Dense, procs)
+	for r := 0; r < procs; r++ {
+		locals[r] = scalapack.Distribute(global, offsets, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			in := core.Input{M: m, N: n, Offsets: offsets, Local: locals[ctx.Rank()]}
+			core.TSLUFactorize(mpi.WorldComm(ctx), in, core.TSLUConfig{Tree: core.TreeGrid})
+		})
+	}
+}
+
+// BenchmarkCholeskyQRvsTSQR compares the two orthogonalization schemes'
+// wall-clock on the same block (CholeskyQR is faster but conditionally
+// stable; see TestCholeskyQRLosesOrthogonality).
+func BenchmarkCholeskyQRvsTSQR(b *testing.B) {
+	m, n := 1<<17, 32
+	global := matrix.Random(m, n, 7)
+	procs := 8
+	g := grid.SmallTestGrid(2, 4, 1)
+	offsets := scalapack.BlockOffsets(m, procs)
+	locals := make([]*matrix.Dense, procs)
+	for r := 0; r < procs; r++ {
+		locals[r] = scalapack.Distribute(global, offsets, r)
+	}
+	b.Run("CholeskyQR", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := mpi.NewWorld(g)
+			w.Run(func(ctx *mpi.Ctx) {
+				in := core.Input{M: m, N: n, Offsets: offsets, Local: locals[ctx.Rank()]}
+				core.CholeskyQR(mpi.WorldComm(ctx), in)
+			})
+		}
+	})
+	b.Run("TSQR", func(b *testing.B) {
+		scratch := make([]*matrix.Dense, procs)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			for r := 0; r < procs; r++ {
+				scratch[r] = locals[r].Clone()
+			}
+			b.StartTimer()
+			w := mpi.NewWorld(g)
+			w.Run(func(ctx *mpi.Ctx) {
+				in := core.Input{M: m, N: n, Offsets: offsets, Local: scratch[ctx.Rank()]}
+				core.Factorize(mpi.WorldComm(ctx), in, core.Config{Tree: core.TreeGrid, WantQ: true})
+			})
+		}
+	})
+}
+
+// BenchmarkSubspaceIteration measures the §II-E block eigensolver: cost
+// per iteration on a distributed Laplacian.
+func BenchmarkSubspaceIteration(b *testing.B) {
+	m, k := 1<<15, 8
+	procs := 8
+	g := grid.SmallTestGrid(2, 4, 1)
+	offsets := scalapack.BlockOffsets(m, procs)
+	iters := 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			subspace.Iterate(comm, subspace.Laplacian1D{Offsets: offsets}, offsets,
+				subspace.Options{BlockSize: k, MaxIter: iters, Tol: 1e-30, Seed: 1, Tree: core.TreeGrid})
+		})
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)/float64(iters)*1e3, "ms/iter")
+}

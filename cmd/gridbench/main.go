@@ -1,0 +1,232 @@
+// Command gridbench regenerates every table and figure of the paper's
+// evaluation on the simulated Grid'5000 platform.
+//
+// Usage:
+//
+//	gridbench [-fig all|3|4|5|6|7|8|table1|table2|messages] [-quick]
+//
+// The output is one text table per figure panel: the simulator's Gflop/s
+// next to the Section IV model prediction for every point the paper
+// plots. -quick trims the sweeps (fewer M values) for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gridqr/internal/bench"
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,7,8,table1,table2,messages,breakdown,ablation,trace,weak,straggler,model,all")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	platform := flag.String("platform", "", "JSON platform file (default: the paper's Grid'5000)")
+	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	flag.Parse()
+
+	g := grid.Grid5000()
+	if *platform != "" {
+		f, err := os.Open(*platform)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(2)
+		}
+		g, err = grid.FromJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *quick {
+		bench.PanelNs = []int{64, 512}
+		bench.BestDomainCandidates = []int{1, 64}
+		bench.DomainSweep = []int{1, 4, 16, 64}
+	}
+
+	if *platform != "" {
+		adaptSweepsTo(g)
+	}
+
+	want := func(k string) bool { return *fig == "all" || *fig == k }
+	ran := false
+
+	if want("3") {
+		ran = true
+		fmt.Println("== Figure 3(a): Grid'5000 communication characteristics (simulated platform) ==")
+		fmt.Println(bench.Fig3aTable(g))
+	}
+	if want("table1") {
+		ran = true
+		fmt.Print(bench.FormatTable("Table I: R-factor only (M=2^22, N=64, P=256 domains)",
+			bench.TableI(g, 1<<22, 64)))
+		fmt.Println()
+	}
+	if want("table2") {
+		ran = true
+		fmt.Print(bench.FormatTable("Table II: Q and R factors (M=2^22, N=64, P=256 domains)",
+			bench.TableII(g, 1<<22, 64)))
+		fmt.Println()
+	}
+	if want("trace") {
+		ran = true
+		printTraces()
+	}
+	if want("weak") {
+		ran = true
+		fmt.Println(bench.FormatWeakScaling(g, 1<<17, 64))
+	}
+	if want("model") {
+		ran = true
+		fmt.Println(bench.FormatModelCheck(bench.CheckModel(g)))
+		fmt.Println("== Multi-site crossover (bisection over the simulator, N = 64) ==")
+		if m, ok := bench.CrossoverM(g, bench.ScaLAPACK, 64, 1<<17, 1<<26); ok {
+			fmt.Printf("ScaLAPACK: all sites beat one site from M ≈ %d (paper: ≈ 5·10⁶–10⁷)\n", m)
+		}
+		if m, ok := bench.CrossoverM(g, bench.TSQR, 64, 1<<14, 1<<22); ok {
+			fmt.Printf("TSQR:      all sites beat one site from M ≈ %d (paper: ≈ 5·10⁵)\n\n", m)
+		}
+	}
+	if want("straggler") {
+		ran = true
+		m, n := 1<<22, 64
+		fmt.Println(bench.FormatStragglers(m, n,
+			bench.StragglerStudy(g, m, n, []float64{1.5, 2, 4, 8})))
+	}
+	if want("ablation") {
+		ran = true
+		m, n, d := 1<<21, 64, 16
+		fmt.Println(bench.FormatAblation(m, n, d, bench.TreeAblation(g, m, n, d)))
+	}
+	if want("breakdown") {
+		ran = true
+		ms := []int{1 << 17, 1 << 20, 1 << 23, 1 << 25}
+		fmt.Println(bench.FormatBreakdown(64, bench.TimeBreakdownSweep(g, 64, ms)))
+	}
+	if want("messages") {
+		ran = true
+		c := bench.CompareMessages(3, 2, 600, 3)
+		fmt.Println("== Fig. 1 vs Fig. 2: inter-cluster messages, M×3 matrix on 3 clusters ==")
+		fmt.Printf("ScaLAPACK PDGEQR2 (binary tree):   %4d inter-cluster msgs (%d total)\n",
+			c.ScaLAPACKInter, c.ScaLAPACKTotal)
+		fmt.Printf("TSQR, shuffled binomial tree:      %4d inter-cluster msgs\n", c.TSQRShuffledInter)
+		fmt.Printf("TSQR, grid-tuned tree (this work): %4d inter-cluster msgs (%d total)\n",
+			c.TSQRGridInter, c.TSQRGrid)
+		fmt.Printf("provable minimum (C-1):            %4d\n\n", c.OptimalInter)
+	}
+
+	var fig4, fig5 *bench.Figure
+	if want("4") || want("8") {
+		f := bench.Figure4(g)
+		fig4 = &f
+	}
+	if want("5") || want("8") {
+		f := bench.Figure5(g)
+		fig5 = &f
+	}
+	emit := func(name string, f bench.Figure) {
+		fmt.Println(f)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if want("4") {
+		ran = true
+		emit("figure4", *fig4)
+	}
+	if want("5") {
+		ran = true
+		emit("figure5", *fig5)
+	}
+	if want("6") {
+		ran = true
+		emit("figure6", bench.Figure6(g))
+	}
+	if want("7") {
+		ran = true
+		emit("figure7", bench.Figure7(g))
+	}
+	if want("8") {
+		ran = true
+		emit("figure8", bench.Figure8(g, fig4, fig5))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "gridbench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// adaptSweepsTo clamps the paper's sweep parameters to what a custom
+// platform can support: site counts within the cluster count, and domain
+// counts that divide every cluster's processor count.
+func adaptSweepsTo(g *grid.Grid) {
+	var sites []int
+	for _, s := range bench.SiteConfigs {
+		if s <= len(g.Clusters) {
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) == 0 {
+		sites = []int{1}
+	}
+	bench.SiteConfigs = sites
+
+	divides := func(d int) bool {
+		for _, c := range g.Clusters {
+			if c.Procs()%d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	filter := func(ds []int) []int {
+		var out []int
+		for _, d := range ds {
+			if divides(d) {
+				out = append(out, d)
+			}
+		}
+		if len(out) == 0 {
+			out = []int{1}
+		}
+		return out
+	}
+	bench.DomainSweep = filter(bench.DomainSweep)
+	bench.BestDomainCandidates = filter(bench.BestDomainCandidates)
+}
+
+// printTraces renders Gantt charts of both algorithms on a small
+// 4-cluster grid (16 ranks keep the chart readable): the visual form of
+// the Section V-E argument — ScaLAPACK's rows are dominated by
+// inter-cluster waits ('!'), TSQR's by computation ('#').
+func printTraces() {
+	tg := grid.SmallTestGrid(4, 4, 1)
+	m, n := 1<<20, 64
+	offsets := scalapack.BlockOffsets(m, tg.Procs())
+	fmt.Println("== Execution traces (M=2^20, N=64, 4 clusters × 4 procs) ==")
+	run := func(name string, fn func(ctx *mpi.Ctx)) {
+		w := mpi.NewWorld(tg, mpi.CostOnly(), mpi.Traced())
+		w.Run(fn)
+		fmt.Printf("\n-- %s --\n%s", name, w.Gantt(100))
+	}
+	run("QCG-TSQR (grid-tuned tree)", func(ctx *mpi.Ctx) {
+		core.Factorize(mpi.WorldComm(ctx), core.Input{M: m, N: n, Offsets: offsets},
+			core.Config{Tree: core.TreeGrid})
+	})
+	run("ScaLAPACK PDGEQR2", func(ctx *mpi.Ctx) {
+		scalapack.PDGEQR2(mpi.WorldComm(ctx), scalapack.Input{M: m, N: n, Offsets: offsets})
+	})
+	fmt.Println()
+}

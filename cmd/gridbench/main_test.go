@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gridbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestGridbenchFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	for _, tc := range []struct {
+		fig  string
+		want string
+	}{
+		{"3", "Orsay"},
+		{"table1", "TSQR"},
+		{"messages", "provable minimum"},
+		{"ablation", "binary-shuffled"},
+	} {
+		out, err := exec.Command(bin, "-fig", tc.fig).CombinedOutput()
+		if err != nil {
+			t.Fatalf("-fig %s: %v\n%s", tc.fig, err, out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Fatalf("-fig %s missing %q:\n%s", tc.fig, tc.want, out)
+		}
+	}
+}
+
+func TestGridbenchCSVAndPlatform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+	platform := filepath.Join(dir, "p.json")
+	os.WriteFile(platform, []byte(`{
+  "clusters": [
+    {"name": "x", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900},
+    {"name": "y", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900}
+  ],
+  "links": [{"from": "x", "to": "y", "latencyMs": 7, "mbps": 90}]
+}`), 0o644)
+	out, err := exec.Command(bin, "-fig", "7", "-quick", "-platform", platform, "-csv", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure7.csv"))
+	if err != nil {
+		t.Fatal("CSV not written")
+	}
+	if !strings.HasPrefix(string(data), "panel,series,x,gflops,model_gflops") {
+		t.Fatalf("bad CSV header:\n%s", data[:60])
+	}
+}
+
+func TestGridbenchUnknownFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	if out, err := exec.Command(bin, "-fig", "nope").CombinedOutput(); err == nil {
+		t.Fatalf("expected failure:\n%s", out)
+	}
+}

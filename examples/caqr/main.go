@@ -1,0 +1,102 @@
+// CAQR: factoring a general (not tall-and-skinny) matrix with
+// Communication-Avoiding QR — the extension the paper announces in its
+// conclusion ("we plan to extend this work to the QR factorization of
+// general matrices").
+//
+// TSQR factors each panel of NB columns through the grid-tuned reduction
+// tree, and the trailing matrix is updated along the same tree, so every
+// panel costs O(1) inter-cluster messages instead of ScaLAPACK's O(NB).
+// The example factors a 4096×1024 matrix over two clusters, verifies R
+// against sequential Householder QR, and reports the measured
+// inter-cluster traffic next to the ScaLAPACK-style baseline's.
+//
+//	go run ./examples/caqr
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+func main() {
+	const (
+		m  = 4096
+		n  = 1024
+		nb = 64
+	)
+	g := grid.SmallTestGrid(2, 4, 1)
+	p := g.Procs()
+	fmt.Printf("caqr: QR of a general %d×%d matrix (NB=%d) on %d processes over 2 clusters\n",
+		m, n, nb, p)
+
+	a := matrix.Random(m, n, 3)
+	offsets := scalapack.BlockOffsets(m, p)
+
+	// --- CAQR ---
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r *matrix.Dense
+	start := time.Now()
+	var q *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: m, N: n, Offsets: offsets,
+			Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		res := core.CAQRFactorize(comm, in, core.CAQRConfig{NB: nb, WantQ: true})
+		qf := scalapack.Collect(comm, res.QLocal, offsets, n)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r, q = res.R, qf
+			mu.Unlock()
+		}
+	})
+	caqrTime := time.Since(start)
+
+	// Q/R consistency first (on the factors exactly as produced)…
+	orthoErr := matrix.OrthoError(q)
+	residErr := matrix.ResidualQR(a, q, r)
+	// …then sign-normalize copies to compare R against sequential QR.
+	ref := core.FactorizeLocal(a, nb)
+	lapack.NormalizeRSigns(ref, nil)
+	lapack.NormalizeRSigns(r, nil)
+	maxDiff := 0.0
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			d := r.At(i, j) - ref.At(i, j)
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("CAQR done in %v, max |R − R_seq| = %.3g\n", caqrTime, maxDiff)
+	fmt.Printf("explicit Q: ‖I − QᵀQ‖_F = %.3g, ‖A − QR‖/‖A‖ = %.3g\n",
+		orthoErr, residErr)
+	fmt.Printf("CAQR traffic: %d messages, %d inter-cluster\n",
+		w.Counters().Total().Msgs, w.Counters().Inter().Msgs)
+
+	// --- ScaLAPACK-style baseline on the same problem ---
+	w2 := mpi.NewWorld(g)
+	start = time.Now()
+	w2.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := scalapack.Input{M: m, N: n, Offsets: offsets,
+			Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		scalapack.PDGEQRF(comm, in, nb, 0)
+	})
+	fmt.Printf("\nScaLAPACK-style PDGEQRF done in %v\n", time.Since(start))
+	fmt.Printf("baseline traffic: %d messages, %d inter-cluster\n",
+		w2.Counters().Total().Msgs, w2.Counters().Inter().Msgs)
+	ratio := float64(w2.Counters().Inter().Msgs) / float64(w.Counters().Inter().Msgs)
+	fmt.Printf("\ninter-cluster message reduction: %.0fx\n", ratio)
+}

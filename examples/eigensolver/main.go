@@ -1,0 +1,77 @@
+// Eigensolver: the full §II-E application — a distributed block
+// eigensolver whose orthogonalization step is TSQR.
+//
+// The example computes the four dominant eigenpairs of the 1-D Laplacian
+// on a coarse grid (the top of a fine-grid Laplacian spectrum is too
+// clustered for any power-family method — real packages use shift-invert
+// there), distributed over 8 processes on two simulated clusters. Every
+// subspace iteration performs one TSQR (a single
+// grid-tuned reduction), one Rayleigh-Ritz allreduce, one residual
+// allreduce and a two-row halo exchange — O(1) inter-cluster messages
+// per iteration regardless of the block width, which is exactly why the
+// paper proposes TSQR for "block eigensolvers (BLOPEX, SLEPc, PRIMME)".
+// Computed eigenvalues are checked against the closed form
+// λ_j = 2 − 2cos(jπ/(m+1)).
+//
+//	go run ./examples/eigensolver
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+	"gridqr/internal/subspace"
+)
+
+func main() {
+	const (
+		m = 100
+		k = 4
+	)
+	g := grid.SmallTestGrid(2, 4, 1)
+	p := g.Procs()
+	fmt.Printf("eigensolver: dominant %d eigenpairs of the %d-point 1-D Laplacian\n", k, m)
+	fmt.Printf("             on %d processes over 2 clusters, TSQR orthogonalization\n\n", p)
+
+	offsets := scalapack.BlockOffsets(m, p)
+	run := func(update subspace.Operator) (*subspace.Result, *mpi.World) {
+		w := mpi.NewWorld(g)
+		var mu sync.Mutex
+		var res *subspace.Result
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			r := subspace.Iterate(comm, subspace.Laplacian1D{Offsets: offsets}, offsets,
+				subspace.Options{BlockSize: k, MaxIter: 12000, Tol: 1e-8, Seed: 1,
+					Tree: core.TreeGrid, Update: update})
+			if ctx.Rank() == 0 {
+				mu.Lock()
+				res = r
+				mu.Unlock()
+			}
+		})
+		return res, w
+	}
+
+	raw, _ := run(nil)
+	fmt.Printf("raw subspace iteration:       converged=%v after %d iterations\n",
+		raw.Converged, raw.Iters)
+	res, w := run(subspace.Chebyshev{
+		Inner: subspace.Laplacian1D{Offsets: offsets}, Degree: 8, A: 0, B: 3.8,
+	})
+	fmt.Printf("Chebyshev-filtered (deg. 8):  converged=%v after %d iterations\n\n",
+		res.Converged, res.Iters)
+	fmt.Printf("%4s %18s %18s %12s %12s\n", "j", "computed", "exact", "error", "residual")
+	for j := 0; j < k; j++ {
+		exact := 2 - 2*math.Cos(float64(m-j)*math.Pi/float64(m+1))
+		fmt.Printf("%4d %18.12f %18.12f %12.2e %12.2e\n",
+			j, res.Values[j], exact, math.Abs(res.Values[j]-exact), res.Residuals[j])
+	}
+	c := w.Counters()
+	fmt.Printf("\ncommunication: %d messages total, %d inter-cluster (%.1f per iteration)\n",
+		c.Total().Msgs, c.Inter().Msgs, float64(c.Inter().Msgs)/float64(res.Iters))
+}

@@ -1,0 +1,85 @@
+// Heterogeneous: the load-balancing extension of the paper's Section III.
+//
+// The paper's meta-scheduler enforces groups of *equivalent computing
+// power*, which forces it to book only half the cores of faster machines.
+// The natural alternative the paper sketches — "adapt the number of rows
+// attributed to each domain as a function of the processing power
+// dedicated to a domain" — is implemented by core.BalanceRows.
+//
+// This example simulates a grid whose second site has 3× faster
+// processors and factors the same tall matrix twice: with uniform row
+// blocks and with speed-proportional blocks. The balanced run finishes
+// substantially earlier in virtual time, and both produce the same R.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+func main() {
+	const mBig, n = 1 << 22, 32
+
+	g := grid.SmallTestGrid(2, 4, 2)
+	g.Clusters[1].Gflops = 3 * g.Clusters[0].Gflops
+	fmt.Printf("heterogeneous: 2 clusters × 8 procs; cluster B is 3× faster\n\n")
+
+	// --- Virtual-time comparison at Grid'5000 scale (cost-only) ---
+	simulate := func(offsets []int) float64 {
+		w := mpi.NewWorld(g, mpi.CostOnly())
+		w.Run(func(ctx *mpi.Ctx) {
+			core.Factorize(mpi.WorldComm(ctx), core.Input{M: mBig, N: n, Offsets: offsets},
+				core.Config{Tree: core.TreeGrid})
+		})
+		return w.MaxClock()
+	}
+	uniform := simulate(scalapack.BlockOffsets(mBig, g.Procs()))
+	balanced := simulate(core.BalanceRows(g, mBig, n))
+	fmt.Printf("simulated factorization of a %d×%d matrix:\n", mBig, n)
+	fmt.Printf("  uniform row blocks:  %.3f s (slow site on the critical path)\n", uniform)
+	fmt.Printf("  balanced row blocks: %.3f s (%.0f%% faster)\n\n",
+		balanced, 100*(uniform-balanced)/uniform)
+
+	// --- Real-arithmetic check: balancing changes nothing numerically ---
+	const mSmall = 20_000
+	a := matrix.Random(mSmall, n, 1)
+	offsets := core.BalanceRows(g, mSmall, n)
+	fmt.Printf("row blocks on the real run (%d rows):\n", mSmall)
+	for c := 0; c < 2; c++ {
+		lo := offsets[c*8]
+		hi := offsets[(c+1)*8]
+		fmt.Printf("  cluster %s: rows %6d..%6d (%d rows, %d per proc)\n",
+			g.Clusters[c].Name, lo, hi, hi-lo, (hi-lo)/8)
+	}
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: mSmall, N: n, Offsets: offsets,
+			Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		res := core.Factorize(comm, in, core.Config{Tree: core.TreeGrid})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r = res.R
+			mu.Unlock()
+		}
+	})
+	lapack.NormalizeRSigns(r, nil)
+	ref := core.FactorizeLocal(a, 0)
+	lapack.NormalizeRSigns(ref, nil)
+	if matrix.Equal(r, ref, 1e-10) {
+		fmt.Println("\nbalanced distributed R matches sequential QR ✓")
+	} else {
+		fmt.Println("\nERROR: balanced R differs from sequential QR")
+	}
+}

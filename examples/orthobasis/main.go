@@ -1,0 +1,182 @@
+// Orthobasis: the paper's motivating application (Section II-E) — block
+// iterative eigensolvers (BLOPEX, SLEPc, PRIMME) must repeatedly build an
+// orthogonal basis for a block of vectors, and "currently these packages
+// rely on unstable orthogonalization schemes to avoid too many
+// communications; TSQR is a stable algorithm that enables the same total
+// number of messages."
+//
+// This example builds a Krylov block K = [v, Av, A²v, …] — whose columns
+// become nearly linearly dependent, the hard case for orthogonalization —
+// and compares:
+//
+//   - classical Gram-Schmidt (the cheap-communication, unstable scheme),
+//   - CholeskyQR (a single allreduce, but error grows with cond(K)²),
+//   - distributed TSQR over an in-process two-cluster grid.
+//
+// TSQR keeps ‖I − QᵀQ‖ at machine precision where the others collapse,
+// at the same asymptotic message count.
+//
+//	go run ./examples/orthobasis
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+const (
+	m     = 100_000 // vector length
+	block = 24      // Krylov block width
+)
+
+func main() {
+	fmt.Printf("orthobasis: orthogonalizing a %d×%d Krylov block\n\n", m, block)
+	k := krylovBlock()
+
+	// --- Classical Gram-Schmidt ---
+	qcgs := k.Clone()
+	cgs(qcgs)
+	fmt.Printf("classical Gram-Schmidt: ‖I − QᵀQ‖_F = %.3g   (unstable)\n",
+		matrix.OrthoError(qcgs))
+
+	g := grid.SmallTestGrid(2, 4, 1)
+	p := g.Procs()
+	offsets := scalapack.BlockOffsets(m, p)
+
+	// --- CholeskyQR: one allreduce, conditioning-squared error ---
+	wc := mpi.NewWorld(g)
+	var cmu sync.Mutex
+	var qChol *matrix.Dense
+	cholFailed := false
+	wc.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: m, N: block, Offsets: offsets,
+			Local: scalapack.Distribute(k, offsets, ctx.Rank())}
+		res := core.CholeskyQR(comm, in)
+		if !res.OK {
+			if ctx.Rank() == 0 {
+				cmu.Lock()
+				cholFailed = true
+				cmu.Unlock()
+			}
+			return
+		}
+		qf := scalapack.Collect(comm, res.QLocal, offsets, block)
+		if ctx.Rank() == 0 {
+			cmu.Lock()
+			qChol = qf
+			cmu.Unlock()
+		}
+	})
+	if cholFailed {
+		fmt.Printf("CholeskyQR:             failed (Gram matrix numerically indefinite)\n")
+	} else {
+		fmt.Printf("CholeskyQR:             ‖I − QᵀQ‖_F = %.3g   (error ∝ cond²)\n",
+			matrix.OrthoError(qChol))
+	}
+
+	// --- Modified Gram-Schmidt: stable-ish, N(N+1)/2 reductions ---
+	wm := mpi.NewWorld(g)
+	var mmu sync.Mutex
+	var qMGS *matrix.Dense
+	wm.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: m, N: block, Offsets: offsets,
+			Local: scalapack.Distribute(k, offsets, ctx.Rank())}
+		res := core.MGS(comm, in)
+		qf := scalapack.Collect(comm, res.QLocal, offsets, block)
+		if ctx.Rank() == 0 {
+			mmu.Lock()
+			qMGS = qf
+			mmu.Unlock()
+		}
+	})
+	fmt.Printf("modified Gram-Schmidt:  ‖I − QᵀQ‖_F = %.3g   (error ∝ cond, %d reductions)\n",
+		matrix.OrthoError(qMGS), block*(block+1)/2+block)
+
+	// --- Distributed TSQR ---
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var q *matrix.Dense
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: m, N: block, Offsets: offsets,
+			Local: scalapack.Distribute(k, offsets, ctx.Rank())}
+		res := core.Factorize(comm, in, core.Config{Tree: core.TreeGrid, WantQ: true})
+		qFull := scalapack.Collect(comm, res.QLocal, offsets, block)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			q, r = qFull, res.R
+			mu.Unlock()
+		}
+	})
+	fmt.Printf("TSQR (grid tree):       ‖I − QᵀQ‖_F = %.3g   (Householder-stable)\n",
+		matrix.OrthoError(q))
+	fmt.Printf("TSQR residual:          ‖K − QR‖/‖K‖ = %.3g\n",
+		matrix.ResidualQR(k, q, r))
+	fmt.Printf("TSQR inter-cluster messages: %d (incl. gathering Q for verification; the\n"+
+		"  reduction itself crosses clusters once per direction, independent of block width)\n",
+		w.Counters().Inter().Msgs)
+
+	// The R factor's diagonal decay exposes how close to dependent the
+	// Krylov directions were — exactly why stability matters here.
+	first, last := math.Abs(r.At(0, 0)), math.Abs(r.At(block-1, block-1))
+	fmt.Printf("\nbasis conditioning: |r11| = %.3g, |r_kk| = %.3g (ratio %.1e)\n",
+		first, last, first/last)
+}
+
+// krylovBlock builds [v, Av, …, A^{block−1}v] for the 1D Laplacian-like
+// operator (Av)_i = 2v_i − v_{i−1} − v_{i+1}, normalizing each column to
+// unit length (as an eigensolver's power iterates would be).
+func krylovBlock() *matrix.Dense {
+	k := matrix.New(m, block)
+	v := matrix.Random(m, 1, 7).Col(0)
+	normalize(v)
+	copy(k.Col(0), v)
+	for j := 1; j < block; j++ {
+		prev, cur := k.Col(j-1), k.Col(j)
+		for i := range cur {
+			s := 2 * prev[i]
+			if i > 0 {
+				s -= prev[i-1]
+			}
+			if i < m-1 {
+				s -= prev[i+1]
+			}
+			cur[i] = s
+		}
+		normalize(cur)
+	}
+	return k
+}
+
+func normalize(v []float64) {
+	blas.Dscal(1/blas.Dnrm2(v), v)
+}
+
+// cgs orthonormalizes the columns of q in place with classical
+// Gram-Schmidt: every column is projected against the *original* previous
+// columns' projections all at once — one reduction per column, but
+// numerically unstable for ill-conditioned input.
+func cgs(q *matrix.Dense) {
+	for j := 0; j < q.Cols; j++ {
+		cj := q.Col(j)
+		coeffs := make([]float64, j)
+		for i := 0; i < j; i++ {
+			coeffs[i] = blas.Ddot(q.Col(i), cj)
+		}
+		for i := 0; i < j; i++ {
+			blas.Daxpy(-coeffs[i], q.Col(i), cj)
+		}
+		normalize(cj)
+	}
+}

@@ -1,0 +1,90 @@
+// Regression: distributed least squares on a tall-and-skinny design
+// matrix — the workhorse application of TSQR.
+//
+// One million noisy samples of a degree-5 polynomial are scattered across
+// 8 processes on two simulated clusters; the fit is solved as
+// min‖A·x − b‖ through the TSQR factorization (one grid-tuned reduction
+// plus two allreduces). Recovered coefficients are compared to the ground
+// truth.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+const (
+	samples = 1_000_000
+	degree  = 5
+	noise   = 0.01
+)
+
+func main() {
+	truth := []float64{1.5, -2.0, 0.75, 3.0, -1.25, 0.5} // c₀ + c₁t + … + c₅t⁵
+	g := grid.SmallTestGrid(2, 4, 1)
+	p := g.Procs()
+	fmt.Printf("regression: fitting a degree-%d polynomial to %d noisy samples\n", degree, samples)
+	fmt.Printf("            over %d processes on 2 clusters (noise σ = %g)\n\n", p, noise)
+
+	offsets := scalapack.BlockOffsets(samples, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var x *matrix.Dense
+	var resid []float64
+	start := time.Now()
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		// Each rank synthesizes its own rows — no central data movement,
+		// as on a real grid where data is born distributed.
+		lo, hi := offsets[ctx.Rank()], offsets[ctx.Rank()+1]
+		rows := hi - lo
+		a := matrix.New(rows, degree+1)
+		b := matrix.New(rows, 1)
+		rng := rand.New(rand.NewSource(int64(1000 + ctx.Rank())))
+		for i := 0; i < rows; i++ {
+			t := 2*float64(lo+i)/float64(samples-1) - 1 // t ∈ [−1, 1]
+			pow := 1.0
+			y := 0.0
+			for d := 0; d <= degree; d++ {
+				a.Set(i, d, pow)
+				y += truth[d] * pow
+				pow *= t
+			}
+			b.Set(i, 0, y+noise*rng.NormFloat64())
+		}
+		in := core.Input{M: samples, N: degree + 1, Offsets: offsets, Local: a}
+		xs, rs := core.LeastSquares(comm, in, b, core.Config{Tree: core.TreeGrid})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			x, resid = xs, rs
+			mu.Unlock()
+		}
+	})
+	fmt.Printf("solved in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("%8s %12s %12s %12s\n", "power", "true", "fitted", "error")
+	worst := 0.0
+	for d := 0; d <= degree; d++ {
+		err := math.Abs(x.At(d, 0) - truth[d])
+		if err > worst {
+			worst = err
+		}
+		fmt.Printf("%8d %12.6f %12.6f %12.2e\n", d, truth[d], x.At(d, 0), err)
+	}
+	fmt.Printf("\nresidual ‖Ax−b‖ = %.4f (≈ σ·√M = %.4f for pure noise)\n",
+		resid[0], noise*math.Sqrt(samples))
+	fmt.Printf("max coefficient error %.2e\n", worst)
+	c := w.Counters()
+	fmt.Printf("communication: %d messages, %d inter-cluster\n", c.Total().Msgs, c.Inter().Msgs)
+}

@@ -1,0 +1,78 @@
+// TSLU: communication-avoiding LU with tournament pivoting — the sibling
+// algorithm the paper's conclusion names ("the work and conclusion we
+// have reached here for TSQR/CAQR can be (trivially) extended to
+// TSLU/CALU").
+//
+// The example factors a tall matrix whose leading entries are tiny —
+// poison for unpivoted elimination — over a two-cluster grid. The
+// tournament selects pivot rows with one inter-cluster exchange per
+// cluster pair, keeps the multipliers bounded, and reconstructs
+// A = L·U to machine precision.
+//
+//	go run ./examples/tslu
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+func main() {
+	const m, n = 100_000, 16
+
+	g := grid.SmallTestGrid(2, 4, 1)
+	p := g.Procs()
+	fmt.Printf("tslu: LU of a %d×%d matrix over %d processes, 2 clusters\n\n", m, n, p)
+
+	// A tall matrix with a pathological top block: unpivoted elimination
+	// would divide by 1e-13 at the very first step.
+	a := matrix.Random(m, n, 5)
+	for j := 0; j < n; j++ {
+		a.Set(j, j, 1e-13)
+	}
+
+	offsets := scalapack.BlockOffsets(m, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var res *core.TSLUResult
+	var lfull *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := core.Input{M: m, N: n, Offsets: offsets,
+			Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		r := core.TSLUFactorize(comm, in, core.TSLUConfig{Tree: core.TreeGrid})
+		lf := scalapack.Collect(comm, r.LLocal, offsets, n)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			res, lfull = r, lf
+			mu.Unlock()
+		}
+	})
+
+	fmt.Printf("tournament pivot rows: %v\n", res.PivotRows)
+	fmt.Printf("max |L| (growth):      %.3g  (bounded — pivoting worked)\n", res.MaxL)
+
+	// Verify A = L·U.
+	var worst float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += lfull.At(i, k) * res.U.At(k, j)
+			}
+			if d := math.Abs(s - a.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("max |A − L·U|:         %.3g\n", worst)
+	fmt.Printf("inter-cluster messages: %d (tournament crosses clusters once)\n",
+		w.Counters().Inter().Msgs)
+}

@@ -1,0 +1,3 @@
+module gridqr
+
+go 1.22

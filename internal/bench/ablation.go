@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// AblationRow compares reduction-tree shapes at one experiment point.
+type AblationRow struct {
+	Tree      core.Tree
+	Seconds   float64
+	Gflops    float64
+	InterMsgs int64
+	TotalMsgs int64
+}
+
+// TreeAblation runs TSQR with every reduction-tree shape on the full
+// grid at a fixed problem size — the design-choice study behind the
+// paper's Fig. 2: only the grid-tuned tree reaches the provably minimal
+// C−1 inter-cluster messages, and the gap widens for the shuffled
+// (topology-oblivious) placement the paper warns about.
+func TreeAblation(g *grid.Grid, m, n, domainsPerCluster int) []AblationRow {
+	var rows []AblationRow
+	for _, tree := range []core.Tree{core.TreeGrid, core.TreeBinary, core.TreeFlat, core.TreeBinaryShuffled} {
+		meas := Execute(Run{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: TSQR,
+			DomainsPerCluster: domainsPerCluster, Tree: tree})
+		rows = append(rows, AblationRow{
+			Tree:      tree,
+			Seconds:   meas.Seconds,
+			Gflops:    meas.Gflops,
+			InterMsgs: meas.Counters.Inter().Msgs,
+			TotalMsgs: meas.Counters.Total().Msgs,
+		})
+	}
+	return rows
+}
+
+// FormatAblation renders the study as a text table.
+func FormatAblation(m, n, d int, rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Reduction-tree ablation: TSQR, M=%d, N=%d, %d domains/cluster, 4 sites ==\n", m, n, d)
+	fmt.Fprintf(&b, "%-18s %10s %10s %12s %12s\n", "tree", "time (s)", "Gflop/s", "inter msgs", "total msgs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %10.4f %10.1f %12d %12d\n",
+			r.Tree, r.Seconds, r.Gflops, r.InterMsgs, r.TotalMsgs)
+	}
+	return b.String()
+}

@@ -1,0 +1,426 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+func TestExecuteScaLAPACKPoint(t *testing.T) {
+	g := grid.Grid5000()
+	m := Execute(Run{Grid: g, Sites: 1, M: 1 << 20, N: 64, Algo: ScaLAPACK})
+	if m.Seconds <= 0 || m.Gflops <= 0 {
+		t.Fatalf("bad measurement %+v", m)
+	}
+	if m.Counters.Inter().Msgs != 0 {
+		t.Fatal("single-site run produced inter-cluster traffic")
+	}
+	if m.ModelSeconds <= 0 {
+		t.Fatal("no model prediction")
+	}
+}
+
+func TestExecuteTSQRPoint(t *testing.T) {
+	g := grid.Grid5000()
+	m := Execute(Run{Grid: g, Sites: 4, M: 1 << 22, N: 64, Algo: TSQR,
+		DomainsPerCluster: 64, Tree: core.TreeGrid})
+	if m.Seconds <= 0 {
+		t.Fatalf("bad measurement %+v", m)
+	}
+	if got := m.Counters.Inter().Msgs; got != 3 {
+		t.Fatalf("tuned tree on 4 sites used %d inter-cluster messages, want 3", got)
+	}
+}
+
+// TestHeadlineClaim is the paper's central statement: for very tall
+// matrices, TSQR performance scales almost linearly with the number of
+// sites, while ScaLAPACK's speedup stays well below.
+func TestHeadlineClaim(t *testing.T) {
+	g := grid.Grid5000()
+	m, n := 1<<25, 64
+	tsqr1 := Execute(Run{Grid: g, Sites: 1, M: m, N: n, Algo: TSQR, DomainsPerCluster: 64, Tree: core.TreeGrid})
+	tsqr4 := Execute(Run{Grid: g, Sites: 4, M: m, N: n, Algo: TSQR, DomainsPerCluster: 64, Tree: core.TreeGrid})
+	speedup := tsqr4.Gflops / tsqr1.Gflops
+	if speedup < 3.2 || speedup > 4.2 {
+		t.Fatalf("TSQR 4-site speedup = %g, want ≈4 (near-linear)", speedup)
+	}
+	sl1 := Execute(Run{Grid: g, Sites: 1, M: m, N: n, Algo: ScaLAPACK})
+	sl4 := Execute(Run{Grid: g, Sites: 4, M: m, N: n, Algo: ScaLAPACK})
+	slSpeedup := sl4.Gflops / sl1.Gflops
+	if slSpeedup >= speedup {
+		t.Fatalf("ScaLAPACK speedup %g not below TSQR's %g", slSpeedup, speedup)
+	}
+}
+
+// TestScaLAPACKSlowsDownOnGridForModerateM reproduces the prior-work
+// negative result the paper confirms: for M ≤ 5·10⁶ the single-site
+// ScaLAPACK run beats the multi-site ones.
+func TestScaLAPACKSlowsDownOnGridForModerateM(t *testing.T) {
+	g := grid.Grid5000()
+	for _, m := range []int{1 << 17, 1 << 20} {
+		s1 := Execute(Run{Grid: g, Sites: 1, M: m, N: 64, Algo: ScaLAPACK})
+		s4 := Execute(Run{Grid: g, Sites: 4, M: m, N: 64, Algo: ScaLAPACK})
+		if s4.Gflops >= s1.Gflops {
+			t.Fatalf("M=%d: ScaLAPACK 4-site (%g) should lose to 1-site (%g)",
+				m, s4.Gflops, s1.Gflops)
+		}
+	}
+}
+
+// TestTSQRBeatsScaLAPACK reproduces Figure 8's conclusion: best-config
+// TSQR consistently above best-config ScaLAPACK.
+func TestTSQRBeatsScaLAPACK(t *testing.T) {
+	g := grid.Grid5000()
+	cases := []struct {
+		n     int
+		ms    []int
+		sites []int
+	}{
+		{64, []int{1 << 18, 1 << 21, 1 << 23}, SiteConfigs},
+		// N=512 ScaLAPACK runs are the most expensive simulations
+		// (1024 allreduces over 256 processes); two points suffice.
+		{512, []int{1 << 21}, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		for _, m := range tc.ms {
+			bestSL := 0.0
+			for _, sites := range tc.sites {
+				if r := Execute(Run{Grid: g, Sites: sites, M: m, N: tc.n, Algo: ScaLAPACK}); r.Gflops > bestSL {
+					bestSL = r.Gflops
+				}
+			}
+			bestTS := 0.0
+			for _, sites := range tc.sites {
+				if meas, _ := bestTSQR(g, sites, m, tc.n); meas > bestTS {
+					bestTS = meas
+				}
+			}
+			if bestTS <= bestSL {
+				t.Fatalf("M=%d N=%d: TSQR best %g not above ScaLAPACK best %g", m, tc.n, bestTS, bestSL)
+			}
+		}
+	}
+}
+
+// TestDomainCountTrend reproduces Figure 7's finding: for N=64 on one
+// site, more domains is better (optimum = one per processor); for N=512
+// the curve flattens or reverses at the top (optimum = one per node).
+func TestDomainCountTrend(t *testing.T) {
+	g := grid.Grid5000()
+	perf := func(n, d int, m int) float64 {
+		return Execute(Run{Grid: g, Sites: 1, M: m, N: n, Algo: TSQR,
+			DomainsPerCluster: d, Tree: core.TreeGrid}).Gflops
+	}
+	// N=64: 64 domains (per-processor) beats 1 domain (whole-site
+	// ScaLAPACK call).
+	if p64 := perf(64, 64, 1<<20); p64 <= perf(64, 1, 1<<20) {
+		t.Fatal("N=64: per-processor domains should beat one big domain")
+	}
+	// N=512: 32 domains (per-node) at least as good as 64 — trading
+	// flops for intra-node messages stops paying (paper Section V-D).
+	if perf(512, 32, 1<<21) < perf(512, 64, 1<<21)*0.98 {
+		t.Fatal("N=512: per-node domains should be competitive with per-processor")
+	}
+}
+
+func TestMSweepBounds(t *testing.T) {
+	ms64 := MSweep(64)
+	if ms64[0] != 1<<17 || ms64[len(ms64)-1] != 1<<25 {
+		t.Fatalf("MSweep(64) = %v", ms64)
+	}
+	ms512 := MSweep(512)
+	if ms512[len(ms512)-1] != 1<<23 {
+		t.Fatalf("MSweep(512) top = %d", ms512[len(ms512)-1])
+	}
+}
+
+func TestTableIMeasuredVsModel(t *testing.T) {
+	g := grid.SmallTestGrid(4, 4, 1) // 16 procs
+	rows := TableI(g, 1<<16, 16)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sl, ts := rows[0], rows[1]
+	// Model: ScaLAPACK sends 2N·log₂P critical-path messages vs TSQR's
+	// log₂P — factor 2N. Measured totals keep a comparable gap.
+	if sl.ModelMsgs/ts.ModelMsgs != float64(2*16) {
+		t.Fatalf("model message ratio %g", sl.ModelMsgs/ts.ModelMsgs)
+	}
+	if sl.MeasMsgs < 10*ts.MeasMsgs {
+		t.Fatalf("measured gap too small: %g vs %g", sl.MeasMsgs, ts.MeasMsgs)
+	}
+	// Per-process measured flops within 35% of the model row (the
+	// model drops lower-order terms).
+	for _, r := range rows {
+		if r.MeasFlops < 0.65*r.ModelFlops || r.MeasFlops > 1.35*r.ModelFlops {
+			t.Fatalf("%s: measured flops %g vs model %g", r.Name, r.MeasFlops, r.ModelFlops)
+		}
+	}
+}
+
+func TestTableIIRatios(t *testing.T) {
+	g := grid.SmallTestGrid(2, 4, 1)
+	r1 := TableI(g, 1<<15, 8)
+	r2 := TableII(g, 1<<15, 8)
+	for i := range r1 {
+		if r2[i].ModelFlops != 2*r1[i].ModelFlops {
+			t.Fatalf("%s: Table II model not double Table I", r1[i].Name)
+		}
+		ratio := r2[i].MeasFlops / r1[i].MeasFlops
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Fatalf("%s: measured Q+R/R flop ratio %g, want ≈2 (Property 1)", r1[i].Name, ratio)
+		}
+	}
+}
+
+func TestCompareMessagesFig1Fig2(t *testing.T) {
+	// The paper's Fig. 1/2 example: 3 clusters, M×3 matrix.
+	c := CompareMessages(3, 2, 60, 3)
+	if c.TSQRGridInter != 2 {
+		t.Fatalf("tuned tree inter-cluster messages = %d, want the optimal 2", c.TSQRGridInter)
+	}
+	if c.OptimalInter != 2 {
+		t.Fatalf("optimal = %d", c.OptimalInter)
+	}
+	if c.ScaLAPACKInter <= 5*c.TSQRGridInter {
+		t.Fatalf("ScaLAPACK inter-cluster count %d should dwarf TSQR's %d",
+			c.ScaLAPACKInter, c.TSQRGridInter)
+	}
+	// ScaLAPACK's count grows with N; TSQR's must not.
+	c8 := CompareMessages(3, 2, 160, 8)
+	if c8.TSQRGridInter != 2 {
+		t.Fatalf("tuned tree count changed with N: %d", c8.TSQRGridInter)
+	}
+	if c8.ScaLAPACKInter <= c.ScaLAPACKInter {
+		t.Fatal("ScaLAPACK inter-cluster count should grow with N")
+	}
+}
+
+func TestFig3aTable(t *testing.T) {
+	s := Fig3aTable(grid.Grid5000())
+	for _, want := range []string{"Orsay", "Sophia", "7.97", "890"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Fig3a table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	// A miniature figure end-to-end: panels render without panicking and
+	// contain the series labels.
+	g := grid.Grid5000()
+	f := Figure{Name: "mini", Title: "test"}
+	s := Series{Label: "1 site(s)"}
+	meas := Execute(Run{Grid: g, Sites: 1, M: 1 << 18, N: 64, Algo: TSQR, Tree: core.TreeGrid})
+	s.Points = append(s.Points, Point{X: 1 << 18, Gflops: meas.Gflops, Model: meas.ModelGflops})
+	f.Panels = append(f.Panels, Panel{Title: "N = 64", XLabel: "M", Series: []Series{s}})
+	out := f.String()
+	if !strings.Contains(out, "N = 64") || !strings.Contains(out, "1 site(s)") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows := []TableRow{{Name: "x", ModelMsgs: 1, MeasMsgs: 2}}
+	out := FormatTable("T", rows)
+	if !strings.Contains(out, "model #msg") || !strings.Contains(out, "x") {
+		t.Fatalf("bad table:\n%s", out)
+	}
+}
+
+// TestFigure7Shape runs the real Figure 7 N=64 panel (cheap) and checks
+// the paper's qualitative findings on it.
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	g := grid.Grid5000()
+	f := Figure7(g)
+	n64 := f.Panels[0]
+	// Performance increases with M: the M=8.4M series dominates the
+	// M=65536 series everywhere.
+	big, small := n64.Series[0], n64.Series[3]
+	for i := range big.Points {
+		if big.Points[i].Gflops <= small.Points[i].Gflops {
+			t.Fatalf("point %d: tall series %g not above short series %g",
+				i, big.Points[i].Gflops, small.Points[i].Gflops)
+		}
+	}
+	// For the smallest M, more domains helps: 64 domains beats 1.
+	if small.Points[len(small.Points)-1].Gflops <= small.Points[0].Gflops {
+		t.Fatal("N=64: domain count should improve small-M performance")
+	}
+}
+
+func TestTreeAblationAlignedGrid(t *testing.T) {
+	g := grid.Grid5000()
+	rows := TreeAblation(g, 1<<20, 64, 16)
+	byTree := map[core.Tree]AblationRow{}
+	for _, r := range rows {
+		byTree[r.Tree] = r
+	}
+	// Tuned tree: exactly C−1 inter-cluster messages.
+	if byTree[core.TreeGrid].InterMsgs != 3 {
+		t.Fatalf("grid tree inter msgs = %d want 3", byTree[core.TreeGrid].InterMsgs)
+	}
+	// On power-of-two-aligned layouts the rank-ordered binomial happens
+	// to coincide with the tuned tree (see EXPERIMENTS.md) …
+	if byTree[core.TreeBinary].InterMsgs != 3 {
+		t.Fatalf("aligned binomial inter msgs = %d want 3", byTree[core.TreeBinary].InterMsgs)
+	}
+	// … while flat and shuffled trees pay many wide-area messages.
+	if byTree[core.TreeFlat].InterMsgs <= 3 || byTree[core.TreeBinaryShuffled].InterMsgs <= 3 {
+		t.Fatalf("flat/shuffled should exceed the optimum: %+v", rows)
+	}
+	if byTree[core.TreeBinaryShuffled].Seconds <= byTree[core.TreeGrid].Seconds {
+		t.Fatal("shuffled tree should be slower than the tuned tree")
+	}
+}
+
+func TestTreeAblationMisalignedBinomial(t *testing.T) {
+	// With a domain count per cluster that is not a power of two, the
+	// rank-ordered binomial no longer nests inside clusters and crosses
+	// the wide area more often than the tuned tree — topology-awareness
+	// is what guarantees the optimum, not luck of alignment.
+	g := grid.SmallTestGrid(3, 12, 1) // 3 clusters × 12 procs
+	run := func(tree core.Tree) int64 {
+		meas := Execute(Run{Grid: g, Sites: 3, M: 1 << 16, N: 8, Algo: TSQR,
+			DomainsPerCluster: 12, Tree: tree})
+		return meas.Counters.Inter().Msgs
+	}
+	gridMsgs := run(core.TreeGrid)
+	binMsgs := run(core.TreeBinary)
+	if gridMsgs != 2 {
+		t.Fatalf("tuned tree inter msgs = %d want 2", gridMsgs)
+	}
+	if binMsgs <= gridMsgs {
+		t.Fatalf("misaligned binomial (%d) should exceed the tuned tree (%d)", binMsgs, gridMsgs)
+	}
+}
+
+// TestFullFigureGenerators runs Figures 4, 5, 6 and 8 end to end with
+// trimmed sweeps, checking panel structure, hull logic and CSV output.
+func TestFullFigureGenerators(t *testing.T) {
+	savedNs, savedSites, savedBest, savedSweep := PanelNs, SiteConfigs, BestDomainCandidates, DomainSweep
+	defer func() {
+		PanelNs, SiteConfigs, BestDomainCandidates, DomainSweep = savedNs, savedSites, savedBest, savedSweep
+	}()
+	PanelNs = []int{64}
+	SiteConfigs = []int{1, 2}
+	BestDomainCandidates = []int{64}
+	DomainSweep = []int{1, 64}
+
+	g := grid.Grid5000()
+	f4 := Figure4(g)
+	f5 := Figure5(g)
+	if len(f4.Panels) != 1 || len(f4.Panels[0].Series) != 2 {
+		t.Fatalf("figure 4 structure: %d panels", len(f4.Panels))
+	}
+	if got := len(f5.Panels[0].Series[0].Points); got != len(MSweep(64)) {
+		t.Fatalf("figure 5 points = %d", got)
+	}
+	f8 := Figure8(g, &f4, &f5)
+	// Hull: every Figure-8 point must equal the max across site series.
+	for i, pt := range f8.Panels[0].Series[0].Points {
+		best := 0.0
+		for _, s := range f5.Panels[0].Series {
+			if v := s.Points[i].Gflops; v > best {
+				best = v
+			}
+		}
+		if pt.Gflops != best {
+			t.Fatalf("hull point %d = %g want %g", i, pt.Gflops, best)
+		}
+	}
+	// TSQR best must beat ScaLAPACK best everywhere (Fig. 8 claim).
+	for i := range f8.Panels[0].Series[0].Points {
+		if f8.Panels[0].Series[0].Points[i].Gflops <= f8.Panels[0].Series[1].Points[i].Gflops {
+			t.Fatalf("point %d: TSQR best not above ScaLAPACK best", i)
+		}
+	}
+	// CSV rendering.
+	csv := f8.CSV()
+	if !strings.Contains(csv, "panel,series,x,gflops,model_gflops") ||
+		!strings.Contains(csv, `"TSQR (best)"`) {
+		t.Fatalf("bad CSV:\n%s", csv[:120])
+	}
+	// Figure 6 with the trimmed domain sweep.
+	f6 := Figure6(g)
+	if len(f6.Panels) != 1 || len(f6.Panels[0].Series[0].Points) != 2 {
+		t.Fatal("figure 6 structure wrong")
+	}
+	// Text rendering of a multi-series figure.
+	if out := f4.String(); !strings.Contains(out, "1 site(s)") {
+		t.Fatal("figure text rendering broken")
+	}
+}
+
+func TestFormatAblationAndStragglers(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	out := FormatAblation(1<<14, 8, 2, TreeAblation(g, 1<<14, 8, 2))
+	for _, want := range []string{"grid", "binary-shuffled", "inter msgs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q", want)
+		}
+	}
+	sOut := FormatStragglers(1<<14, 8, StragglerStudy(g, 1<<14, 8, []float64{2}))
+	if !strings.Contains(sOut, "2.0x") {
+		t.Fatalf("straggler output:\n%s", sOut)
+	}
+}
+
+// TestPropertiesSimulated verifies the paper's Properties 1–5 against the
+// simulator itself (the perfmodel tests verify them against the analytic
+// model; this closes the loop).
+func TestPropertiesSimulated(t *testing.T) {
+	g := grid.Grid5000()
+	point := func(m, n int, wantQ bool) Measurement {
+		return Execute(Run{Grid: g, Sites: 4, M: m, N: n, Algo: TSQR,
+			Tree: core.TreeGrid, WantQ: wantQ})
+	}
+	// Property 1: Q+R time ≈ 2× R-only.
+	r := point(1<<22, 64, false)
+	qr := point(1<<22, 64, true)
+	if ratio := qr.Seconds / r.Seconds; ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("Property 1: Q+R/R = %g want ≈2", ratio)
+	}
+	// Property 2: performance below the domanial bound.
+	if bound := 256 * g.KernelGflops(0, 64); r.Gflops > bound {
+		t.Fatalf("Property 2: %g Gflop/s above domanial bound %g", r.Gflops, bound)
+	}
+	// Property 3: performance grows with M.
+	prev := 0.0
+	for _, m := range []int{1 << 18, 1 << 20, 1 << 22, 1 << 24} {
+		if p := point(m, 64, false).Gflops; p <= prev {
+			t.Fatalf("Property 3: not monotone at M=%d", m)
+		} else {
+			prev = p
+		}
+	}
+	// Property 4: performance grows with N.
+	prev = 0.0
+	for _, n := range []int{32, 64, 128, 256} {
+		if p := point(1<<22, n, false).Gflops; p <= prev {
+			t.Fatalf("Property 4: not monotone at N=%d", n)
+		} else {
+			prev = p
+		}
+	}
+	// Property 5: TSQR beats ScaLAPACK, and the advantage narrows as N
+	// grows.
+	prevAdv := 1e18
+	for _, n := range []int{64, 256, 512} {
+		sl := Execute(Run{Grid: g, Sites: 4, M: 1 << 21, N: n, Algo: ScaLAPACK})
+		ts := point(1<<21, n, false)
+		adv := ts.Gflops / sl.Gflops
+		if adv <= 1 {
+			t.Fatalf("Property 5: TSQR not ahead at N=%d (adv %g)", n, adv)
+		}
+		if adv >= prevAdv {
+			t.Fatalf("Property 5: advantage not shrinking at N=%d (%g >= %g)", n, adv, prevAdv)
+		}
+		prevAdv = adv
+	}
+}

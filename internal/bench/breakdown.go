@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// BreakdownRow is one line of the Section V-E analysis: where the
+// critical rank's time goes for one matrix height.
+type BreakdownRow struct {
+	M            int
+	Algo         Algorithm
+	Seconds      float64
+	ComputeFrac  float64
+	IntraNode    float64 // fractions of total time
+	IntraCluster float64
+	InterCluster float64
+}
+
+// CommShare returns the fraction of time spent waiting on any network.
+func (r BreakdownRow) CommShare() float64 {
+	return r.IntraNode + r.IntraCluster + r.InterCluster
+}
+
+// TimeBreakdownSweep reproduces the paper's Section V-E observation:
+// "the time spent in intra-node, then intra-cluster and finally
+// inter-cluster communications becomes negligible while the dimensions of
+// the matrices increase". It runs both algorithms on all four sites over
+// a height sweep and reports the critical rank's time split.
+func TimeBreakdownSweep(g *grid.Grid, n int, ms []int) []BreakdownRow {
+	var rows []BreakdownRow
+	for _, algo := range []Algorithm{TSQR, ScaLAPACK} {
+		for _, m := range ms {
+			r := Run{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: algo, Tree: core.TreeGrid}
+			if algo == TSQR {
+				r.DomainsPerCluster = 64
+				if g.Clusters[0].Procs() < 64 {
+					r.DomainsPerCluster = 0
+				}
+			}
+			meas := Execute(r)
+			// Rank 0 sits at the root of every reduction, so its waits
+			// reflect the delays of whole subtrees; waits are attributed
+			// to the link class of the message that released the rank
+			// (last-hop attribution). Fractions are of rank 0's own
+			// virtual time.
+			b := meas.Breakdown
+			total := b.Total()
+			rows = append(rows, BreakdownRow{
+				M: m, Algo: algo, Seconds: meas.Seconds,
+				ComputeFrac:  b.Compute / total,
+				IntraNode:    b.Wait[grid.IntraNode] / total,
+				IntraCluster: b.Wait[grid.IntraCluster] / total,
+				InterCluster: b.Wait[grid.InterCluster] / total,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatBreakdown renders the sweep as a text table.
+func FormatBreakdown(n int, rows []BreakdownRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Time breakdown on all sites, N = %d (rank 0, last-hop wait attribution) ==\n", n)
+	fmt.Fprintf(&b, "%-10s %12s %10s %10s %12s %12s %12s\n",
+		"algorithm", "M", "time (s)", "compute", "intra-node", "intra-clstr", "inter-clstr")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %10.3f %9.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+			r.Algo, r.M, r.Seconds, 100*r.ComputeFrac,
+			100*r.IntraNode, 100*r.IntraCluster, 100*r.InterCluster)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// The paper's experimental parameter space (Section V).
+var (
+	// PanelNs are the matrix widths, one panel per figure.
+	PanelNs = []int{64, 128, 256, 512}
+	// SiteConfigs are the 1-, 2- and 4-site runs of Figures 4 and 5.
+	SiteConfigs = []int{1, 2, 4}
+	// DomainSweep is the domains-per-cluster axis of Figures 6 and 7.
+	DomainSweep = []int{1, 2, 4, 8, 16, 32, 64}
+	// BestDomainCandidates is the subset of DomainSweep the "best
+	// configuration" search of Figures 5 and 8 optimizes over.
+	BestDomainCandidates = []int{1, 8, 32, 64}
+)
+
+// MSweep returns the paper's row-count axis for a given N: powers of two
+// from 2^17 (131,072) up to 2^25 (33.5M) for skinny panels, 2^23 (8.4M)
+// for the wider ones — the paper's 16 GB memory bound.
+func MSweep(n int) []int {
+	maxPow := 25
+	if n > 128 {
+		maxPow = 23
+	}
+	var ms []int
+	for p := 17; p <= maxPow; p++ {
+		ms = append(ms, 1<<p)
+	}
+	return ms
+}
+
+// Figure4 reproduces "ScaLAPACK performance": Gflop/s vs M for each N,
+// one series per site count.
+func Figure4(g *grid.Grid) Figure {
+	f := Figure{Name: "Figure 4", Title: "ScaLAPACK performance (PDGEQRF, NB=64, NX=128)"}
+	for _, n := range PanelNs {
+		panel := Panel{Title: fmt.Sprintf("N = %d", n), XLabel: "M"}
+		for _, sites := range SiteConfigs {
+			s := Series{Label: fmt.Sprintf("%d site(s)", sites)}
+			for _, m := range MSweep(n) {
+				meas := Execute(Run{Grid: g, Sites: sites, M: m, N: n, Algo: ScaLAPACK})
+				s.Points = append(s.Points, Point{X: float64(m), Gflops: meas.Gflops, Model: meas.ModelGflops})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// Figure5 reproduces "TSQR performance": Gflop/s vs M for each N with the
+// optimum number of domains per cluster, one series per site count.
+func Figure5(g *grid.Grid) Figure {
+	f := Figure{Name: "Figure 5", Title: "QCG-TSQR performance (grid-tuned tree, best #domains)"}
+	for _, n := range PanelNs {
+		panel := Panel{Title: fmt.Sprintf("N = %d", n), XLabel: "M"}
+		for _, sites := range SiteConfigs {
+			s := Series{Label: fmt.Sprintf("%d site(s)", sites)}
+			for _, m := range MSweep(n) {
+				best, bestModel := bestTSQR(g, sites, m, n)
+				s.Points = append(s.Points, Point{X: float64(m), Gflops: best, Model: bestModel})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// bestTSQR returns the best measured and model Gflop/s over the domain
+// candidates, the paper's per-point tuning.
+func bestTSQR(g *grid.Grid, sites, m, n int) (meas, model float64) {
+	for _, d := range BestDomainCandidates {
+		r := Execute(Run{Grid: g, Sites: sites, M: m, N: n, Algo: TSQR,
+			DomainsPerCluster: d, Tree: core.TreeGrid})
+		if r.Gflops > meas {
+			meas = r.Gflops
+		}
+		if r.ModelGflops > model {
+			model = r.ModelGflops
+		}
+	}
+	return meas, model
+}
+
+// figure6Ms gives, per N, the row counts of the Figure 6 series.
+func figure6Ms(n int) []int {
+	switch n {
+	case 64:
+		return []int{33554432, 4194304, 524288, 131072}
+	case 128:
+		return []int{33554432, 4194304, 524288, 262144}
+	default:
+		return []int{8388608, 2097152, 524288, 262144}
+	}
+}
+
+// Figure6 reproduces "effect of the number of domains per cluster on
+// TSQR executed on all four sites": Gflop/s vs domains/cluster, one
+// series per M.
+func Figure6(g *grid.Grid) Figure {
+	f := Figure{Name: "Figure 6", Title: "Effect of #domains per cluster (TSQR, 4 sites)"}
+	for _, n := range PanelNs {
+		panel := Panel{Title: fmt.Sprintf("N = %d", n), XLabel: "domains/cluster"}
+		for _, m := range figure6Ms(n) {
+			s := Series{Label: fmt.Sprintf("M = %d", m)}
+			for _, d := range DomainSweep {
+				meas := Execute(Run{Grid: g, Sites: 4, M: m, N: n, Algo: TSQR,
+					DomainsPerCluster: d, Tree: core.TreeGrid})
+				s.Points = append(s.Points, Point{X: float64(d), Gflops: meas.Gflops, Model: meas.ModelGflops})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// figure7Ms gives the Figure 7 series row counts.
+func figure7Ms(n int) []int {
+	if n == 64 {
+		return []int{8388608, 1048576, 131072, 65536}
+	}
+	return []int{2097152, 1048576, 131072, 65536}
+}
+
+// Figure7 reproduces "effect of the number of domains on TSQR executed on
+// a single site", panels N = 64 and N = 512.
+func Figure7(g *grid.Grid) Figure {
+	f := Figure{Name: "Figure 7", Title: "Effect of #domains (TSQR, single site)"}
+	for _, n := range []int{64, 512} {
+		panel := Panel{Title: fmt.Sprintf("N = %d", n), XLabel: "domains"}
+		for _, m := range figure7Ms(n) {
+			s := Series{Label: fmt.Sprintf("M = %d", m)}
+			for _, d := range DomainSweep {
+				meas := Execute(Run{Grid: g, Sites: 1, M: m, N: n, Algo: TSQR,
+					DomainsPerCluster: d, Tree: core.TreeGrid})
+				s.Points = append(s.Points, Point{X: float64(d), Gflops: meas.Gflops, Model: meas.ModelGflops})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// Figure8 reproduces "TSQR vs ScaLAPACK": for each algorithm the best
+// configuration over 1/2/4 sites (the convex hull of Figures 4 and 5).
+// Precomputed Figure4/Figure5 results may be passed to avoid re-running
+// the sweeps; pass nil to compute from scratch.
+func Figure8(g *grid.Grid, fig4, fig5 *Figure) Figure {
+	if fig4 == nil {
+		f := Figure4(g)
+		fig4 = &f
+	}
+	if fig5 == nil {
+		f := Figure5(g)
+		fig5 = &f
+	}
+	f := Figure{Name: "Figure 8", Title: "QCG-TSQR (best) vs ScaLAPACK (best)"}
+	for pi, n := range PanelNs {
+		panel := Panel{Title: fmt.Sprintf("N = %d", n), XLabel: "M"}
+		panel.Series = []Series{
+			hull("TSQR (best)", fig5.Panels[pi].Series),
+			hull("ScaLAPACK (best)", fig4.Panels[pi].Series),
+		}
+		f.Panels = append(f.Panels, panel)
+	}
+	return f
+}
+
+// hull takes, pointwise, the best Gflop/s across a panel's site series.
+func hull(label string, series []Series) Series {
+	out := Series{Label: label}
+	for i := range series[0].Points {
+		best := Point{X: series[0].Points[i].X}
+		for _, s := range series {
+			if p := s.Points[i]; p.Gflops > best.Gflops {
+				best.Gflops = p.Gflops
+				best.Model = p.Model
+			}
+		}
+		out.Points = append(out.Points, best)
+	}
+	return out
+}

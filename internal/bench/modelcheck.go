@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// ModelAccuracy quantifies how well the Section IV analytic model
+// predicts the simulator across the paper's parameter space: the
+// distribution of relative errors |model − simulated| / simulated over a
+// (N, M, sites) sweep for both algorithms.
+type ModelAccuracy struct {
+	Algo              Algorithm
+	Points            int
+	MeanErr, WorstErr float64
+	// Worst point's coordinates.
+	WorstN, WorstM, WorstSites int
+}
+
+// CheckModel sweeps a compact subset of the Figure 4/5 space and reports
+// the model error statistics per algorithm.
+func CheckModel(g *grid.Grid) []ModelAccuracy {
+	ns := []int{64, 256}
+	ms := []int{1 << 18, 1 << 21, 1 << 23}
+	var out []ModelAccuracy
+	for _, algo := range []Algorithm{TSQR, ScaLAPACK} {
+		acc := ModelAccuracy{Algo: algo}
+		var sum float64
+		for _, n := range ns {
+			for _, m := range ms {
+				for _, sites := range []int{1, 2, 4} {
+					if sites > len(g.Clusters) {
+						continue
+					}
+					r := Run{Grid: g, Sites: sites, M: m, N: n, Algo: algo, Tree: core.TreeGrid}
+					if algo == TSQR {
+						r.DomainsPerCluster = 0
+					}
+					meas := Execute(r)
+					err := math.Abs(meas.ModelSeconds-meas.Seconds) / meas.Seconds
+					sum += err
+					acc.Points++
+					if err > acc.WorstErr {
+						acc.WorstErr = err
+						acc.WorstN, acc.WorstM, acc.WorstSites = n, m, sites
+					}
+				}
+			}
+		}
+		acc.MeanErr = sum / float64(acc.Points)
+		out = append(out, acc)
+	}
+	return out
+}
+
+// FormatModelCheck renders the accuracy report.
+func FormatModelCheck(rows []ModelAccuracy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Section IV model vs simulator: relative time error over the sweep ==\n")
+	fmt.Fprintf(&b, "%-10s %8s %12s %12s %30s\n", "algorithm", "points", "mean err", "worst err", "worst point (N, M, sites)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %11.1f%% %11.1f%%      N=%d M=%d sites=%d\n",
+			r.Algo, r.Points, 100*r.MeanErr, 100*r.WorstErr, r.WorstN, r.WorstM, r.WorstSites)
+	}
+	return b.String()
+}
+
+// CrossoverM finds, by bisection over the simulator, the matrix height at
+// which using all sites of the grid first beats a single site for the
+// given algorithm and width — the quantity behind the paper's "for very
+// tall matrices (M > 5·10⁶) the use of multiple sites eventually speeds
+// up the performance". Returns (crossover, true) or (0, false) if the
+// multi-site run already wins at lo or still loses at hi.
+func CrossoverM(g *grid.Grid, algo Algorithm, n int, lo, hi int) (int, bool) {
+	sites := len(g.Clusters)
+	better := func(m int) bool {
+		multi := Execute(Run{Grid: g, Sites: sites, M: m, N: n, Algo: algo, Tree: core.TreeGrid})
+		single := Execute(Run{Grid: g, Sites: 1, M: m, N: n, Algo: algo, Tree: core.TreeGrid})
+		return multi.Seconds < single.Seconds
+	}
+	if better(lo) || !better(hi) {
+		return 0, false
+	}
+	for hi-lo > lo/64+1 { // ~1.5% resolution
+		mid := lo + (hi-lo)/2
+		if better(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}

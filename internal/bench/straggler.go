@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// StragglerRow records how much one slowed-down process inflates the
+// completion time of each algorithm.
+type StragglerRow struct {
+	Factor    float64 // the straggler's slowdown (1 = baseline)
+	TSQRInfl  float64 // completion time relative to the no-straggler run
+	SLInfl    float64
+	TSQRIdeal float64 // inflation if only the straggler's own work slowed
+}
+
+// StragglerStudy is a first quantitative look at the paper's stated
+// future work ("porting the work to a general desktop grid"): desktop
+// grids have volatile, background-loaded hosts. One process is slowed by
+// a sweep of factors and both algorithms are re-run; the question is how
+// much of the slowdown leaks into everyone's completion time. A perfectly
+// balanced synchronous algorithm is fully hostage to its slowest member
+// (inflation ≈ factor·compute-share); what distinguishes the algorithms
+// is how much communication structure amplifies the damage beyond that.
+func StragglerStudy(g *grid.Grid, m, n int, factors []float64) []StragglerRow {
+	run := func(algo Algorithm, factor float64) float64 {
+		sub := g.Sites(len(g.Clusters))
+		opts := []mpi.Option{mpi.CostOnly()}
+		if factor > 1 {
+			opts = append(opts, mpi.Slowdown(sub.Procs()/2, factor)) // mid-grid rank
+		}
+		w := mpi.NewWorld(sub, opts...)
+		offsets := scalapack.BlockOffsets(m, sub.Procs())
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			switch algo {
+			case TSQR:
+				core.Factorize(comm, core.Input{M: m, N: n, Offsets: offsets},
+					core.Config{Tree: core.TreeGrid})
+			case ScaLAPACK:
+				scalapack.PDGEQR2(comm, scalapack.Input{M: m, N: n, Offsets: offsets})
+			}
+		})
+		return w.MaxClock()
+	}
+	baseTSQR := run(TSQR, 1)
+	baseSL := run(ScaLAPACK, 1)
+	var rows []StragglerRow
+	for _, f := range factors {
+		rows = append(rows, StragglerRow{
+			Factor:   f,
+			TSQRInfl: run(TSQR, f) / baseTSQR,
+			SLInfl:   run(ScaLAPACK, f) / baseSL,
+		})
+	}
+	return rows
+}
+
+// FormatStragglers renders the study.
+func FormatStragglers(m, n int, rows []StragglerRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Straggler sensitivity: one slowed process, M=%d, N=%d, 4 sites ==\n", m, n)
+	fmt.Fprintf(&b, "%12s %18s %18s\n", "slowdown", "TSQR inflation", "ScaLAPACK inflation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%10.1fx %17.2fx %17.2fx\n", r.Factor, r.TSQRInfl, r.SLInfl)
+	}
+	return b.String()
+}

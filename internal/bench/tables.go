@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/perfmodel"
+	"gridqr/internal/scalapack"
+)
+
+// TableRow compares a Table I/II model row against counters measured from
+// an actual cost-only run of the corresponding algorithm.
+type TableRow struct {
+	Name                    string
+	ModelMsgs, MeasMsgs     float64
+	ModelVolume, MeasVolume float64
+	ModelFlops, MeasFlops   float64
+}
+
+// TableI reproduces the paper's Table I (R-factor only): the model's
+// per-critical-path counts next to totals measured from real runs.
+// Measured message counts are whole-run totals (every point-to-point
+// message on every link), while the model counts critical-path
+// allreduce stages, so the comparison reports both conventions.
+func TableI(g *grid.Grid, m, n int) []TableRow {
+	return tableRows(g, m, n, false)
+}
+
+// TableII is the Q-and-R variant (paper Table II).
+func TableII(g *grid.Grid, m, n int) []TableRow {
+	return tableRows(g, m, n, true)
+}
+
+func tableRows(g *grid.Grid, m, n int, wantQ bool) []TableRow {
+	p := g.Procs()
+	mk := func(name string, algo Algorithm, model perfmodel.Breakdown) TableRow {
+		meas := Execute(Run{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: algo,
+			Tree: core.TreeGrid, WantQ: wantQ})
+		t := meas.Counters.Total()
+		return TableRow{
+			Name:      name,
+			ModelMsgs: model.Msgs, MeasMsgs: float64(t.Msgs),
+			ModelVolume: model.Volume, MeasVolume: t.Bytes,
+			ModelFlops: model.Flops, MeasFlops: meas.Counters.Flops / float64(p),
+		}
+	}
+	if wantQ {
+		return []TableRow{
+			mk("ScaLAPACK QR2", ScaLAPACK, perfmodel.ScaLAPACKQR(m, n, p)),
+			mk("TSQR", TSQR, perfmodel.TSQRQR(m, n, p)),
+		}
+	}
+	return []TableRow{
+		mk("ScaLAPACK QR2", ScaLAPACK, perfmodel.ScaLAPACKR(m, n, p)),
+		mk("TSQR", TSQR, perfmodel.TSQRR(m, n, p)),
+	}
+}
+
+// FormatTable renders TableI/TableII rows as text.
+func FormatTable(title string, rows []TableRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%-16s %14s %14s %16s %16s %16s %16s\n",
+		"algorithm", "model #msg", "meas #msg", "model bytes", "meas bytes", "model flops/P", "meas flops/P")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %14.0f %14.0f %16.3g %16.3g %16.3g %16.3g\n",
+			r.Name, r.ModelMsgs, r.MeasMsgs, r.ModelVolume, r.MeasVolume, r.ModelFlops, r.MeasFlops)
+	}
+	return b.String()
+}
+
+// MessageComparison reproduces the Fig. 1 / Fig. 2 argument: the
+// inter-cluster message count of ScaLAPACK's topology-oblivious
+// per-column reductions versus the tuned TSQR tree, on an M×N matrix
+// over a given number of clusters.
+type MessageComparison struct {
+	Clusters                 int
+	N                        int
+	ScaLAPACKInter           int64 // measured inter-cluster messages, PDGEQR2
+	TSQRGridInter            int64 // measured inter-cluster messages, tuned tree
+	TSQRShuffledInter        int64 // binomial tree over shuffled domains
+	OptimalInter             int64 // C−1, the provable minimum
+	ScaLAPACKTotal, TSQRGrid int64 // total messages for context
+}
+
+// CompareMessages measures the Fig. 1 / Fig. 2 counts on a small grid.
+func CompareMessages(clusters, procsPerCluster, m, n int) MessageComparison {
+	g := grid.SmallTestGrid(clusters, procsPerCluster, 1)
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+
+	runWorld := func(fn func(*mpi.Ctx)) mpi.CounterSnapshot {
+		w := mpi.NewWorld(g, mpi.CostOnly())
+		w.Run(fn)
+		return w.Counters()
+	}
+	sl := runWorld(func(ctx *mpi.Ctx) {
+		scalapack.PDGEQR2(mpi.WorldComm(ctx), scalapack.Input{M: m, N: n, Offsets: offsets})
+	})
+	ts := runWorld(func(ctx *mpi.Ctx) {
+		core.Factorize(mpi.WorldComm(ctx), core.Input{M: m, N: n, Offsets: offsets},
+			core.Config{Tree: core.TreeGrid})
+	})
+	sh := runWorld(func(ctx *mpi.Ctx) {
+		core.Factorize(mpi.WorldComm(ctx), core.Input{M: m, N: n, Offsets: offsets},
+			core.Config{Tree: core.TreeBinaryShuffled, ShuffleSeed: 12345})
+	})
+	return MessageComparison{
+		Clusters:          clusters,
+		N:                 n,
+		ScaLAPACKInter:    sl.Inter().Msgs,
+		TSQRGridInter:     ts.Inter().Msgs,
+		TSQRShuffledInter: sh.Inter().Msgs,
+		OptimalInter:      int64(clusters - 1),
+		ScaLAPACKTotal:    sl.Total().Msgs,
+		TSQRGrid:          ts.Total().Msgs,
+	}
+}
+
+// Fig3aTable renders the platform's link matrix in the layout of the
+// paper's Fig. 3(a): latency in ms and throughput in Mb/s between sites.
+func Fig3aTable(g *grid.Grid) string {
+	var b strings.Builder
+	names := make([]string, len(g.Clusters))
+	for i, c := range g.Clusters {
+		names[i] = c.Name
+	}
+	fmt.Fprintf(&b, "Latency (ms)%12s", "")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%10s", n)
+	}
+	fmt.Fprintln(&b)
+	for i, n := range names {
+		fmt.Fprintf(&b, "%-24s", n)
+		for j := range names {
+			if j < i {
+				fmt.Fprintf(&b, "%10s", "")
+			} else {
+				fmt.Fprintf(&b, "%10.2f", g.Inter[i][j].Latency*1e3)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "\nThroughput (Mb/s)%7s", "")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%10s", n)
+	}
+	fmt.Fprintln(&b)
+	for i, n := range names {
+		fmt.Fprintf(&b, "%-24s", n)
+		for j := range names {
+			if j < i {
+				fmt.Fprintf(&b, "%10s", "")
+			} else {
+				fmt.Fprintf(&b, "%10.0f", g.Inter[i][j].Bandwidth*8/1e6)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// WeakScalingRow is one point of the weak-scaling study: the per-process
+// work is fixed (rowsPerProc·N) and sites are added.
+type WeakScalingRow struct {
+	Sites      int
+	M          int // total rows = rowsPerProc × procs
+	Gflops     float64
+	Efficiency float64 // Gflops / (sites × single-site Gflops)
+}
+
+// WeakScaling grows the problem with the machine: every added site brings
+// its own rows. An algorithm that scales keeps efficiency near 1 — the
+// operating regime a grid user actually cares about ("my data grows with
+// my machine"), complementing the paper's fixed-M (strong-scaling)
+// figures.
+func WeakScaling(g *grid.Grid, algo Algorithm, rowsPerProc, n int) []WeakScalingRow {
+	var rows []WeakScalingRow
+	var base float64
+	for sites := 1; sites <= len(g.Clusters); sites++ {
+		procs := g.Sites(sites).Procs()
+		m := rowsPerProc * procs
+		r := Run{Grid: g, Sites: sites, M: m, N: n, Algo: algo, Tree: core.TreeGrid}
+		if algo == TSQR {
+			r.DomainsPerCluster = 0 // one domain per process
+		}
+		meas := Execute(r)
+		if sites == 1 {
+			base = meas.Gflops
+		}
+		rows = append(rows, WeakScalingRow{
+			Sites:      sites,
+			M:          m,
+			Gflops:     meas.Gflops,
+			Efficiency: meas.Gflops / (float64(sites) * base),
+		})
+	}
+	return rows
+}
+
+// FormatWeakScaling renders both algorithms' weak-scaling tables.
+func FormatWeakScaling(g *grid.Grid, rowsPerProc, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Weak scaling: %d rows/process, N = %d ==\n", rowsPerProc, n)
+	for _, algo := range []Algorithm{TSQR, ScaLAPACK} {
+		fmt.Fprintf(&b, "\n-- %s --\n%8s %12s %10s %12s\n", algo, "sites", "M", "Gflop/s", "efficiency")
+		for _, r := range WeakScaling(g, algo, rowsPerProc, n) {
+			fmt.Fprintf(&b, "%8d %12d %10.1f %11.0f%%\n", r.Sites, r.M, r.Gflops, 100*r.Efficiency)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package blas
+
+import (
+	"fmt"
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+func BenchmarkDdot(b *testing.B) {
+	x := matrix.Random(4096, 1, 1).Col(0)
+	y := matrix.Random(4096, 1, 2).Col(0)
+	b.SetBytes(2 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		Ddot(x, y)
+	}
+}
+
+func BenchmarkDaxpy(b *testing.B) {
+	x := matrix.Random(4096, 1, 1).Col(0)
+	y := matrix.Random(4096, 1, 2).Col(0)
+	b.SetBytes(3 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		Daxpy(1.0001, x, y)
+	}
+}
+
+func BenchmarkDnrm2(b *testing.B) {
+	x := matrix.Random(4096, 1, 3).Col(0)
+	for i := 0; i < b.N; i++ {
+		Dnrm2(x)
+	}
+}
+
+func BenchmarkDgemv(b *testing.B) {
+	a := matrix.Random(1024, 64, 4)
+	x := matrix.Random(64, 1, 5).Col(0)
+	y := make([]float64, 1024)
+	for i := 0; i < b.N; i++ {
+		Dgemv(NoTrans, 1, a, x, 0, y)
+	}
+}
+
+func BenchmarkDgemm(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			x := matrix.Random(n, n, 1)
+			y := matrix.Random(n, n, 2)
+			c := matrix.New(n, n)
+			fl := 2 * float64(n) * float64(n) * float64(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Dgemm(NoTrans, NoTrans, 1, x, y, 0, c)
+			}
+			b.ReportMetric(fl*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+func BenchmarkDgemmTall(b *testing.B) {
+	// The TSQR-relevant shape: tall-and-skinny times small square.
+	m, n := 1<<15, 64
+	x := matrix.Random(m, n, 1)
+	y := matrix.Random(n, n, 2)
+	c := matrix.New(m, n)
+	fl := 2 * float64(m) * float64(n) * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(NoTrans, NoTrans, 1, x, y, 0, c)
+	}
+	b.ReportMetric(fl*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkDtrsm(b *testing.B) {
+	n := 64
+	u := matrix.Random(n, n, 1)
+	for i := 0; i < n; i++ {
+		u.Set(i, i, float64(n)+u.At(i, i))
+	}
+	rhs := matrix.Random(1024, n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dtrsm(Right, NoTrans, false, 1, u, rhs)
+	}
+}

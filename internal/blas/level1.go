@@ -1,0 +1,104 @@
+// Package blas implements the dense basic linear algebra subprograms the
+// QR kernels are built on: level-1 vector operations on slices, and
+// level-2/3 operations on column-major matrices (internal/matrix.Dense).
+//
+// The level-3 matrix multiply is blocked for cache locality and can fan
+// out across goroutines (see Dgemm), mirroring the role GotoBLAS plays in
+// the paper's software stack.
+package blas
+
+import "math"
+
+// Ddot returns xᵀy. Slices must have equal length.
+func Ddot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: Ddot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Dnrm2 returns the Euclidean norm of x, with scaling against overflow.
+func Dnrm2(x []float64) float64 {
+	var scale, ssq float64 = 0, 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dasum returns the sum of absolute values of x.
+func Dasum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Daxpy computes y += alpha*x.
+func Daxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Daxpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Dscal computes x *= alpha.
+func Dscal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dcopy copies x into y.
+func Dcopy(x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Dcopy length mismatch")
+	}
+	copy(y, x)
+}
+
+// Dswap exchanges x and y.
+func Dswap(x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Dswap length mismatch")
+	}
+	for i := range x {
+		x[i], y[i] = y[i], x[i]
+	}
+}
+
+// Idamax returns the index of the element of largest absolute value, or -1
+// for an empty slice.
+func Idamax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, idx := math.Abs(x[0]), 0
+	for i := 1; i < len(x); i++ {
+		if av := math.Abs(x[i]); av > best {
+			best, idx = av, i
+		}
+	}
+	return idx
+}

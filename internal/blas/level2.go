@@ -1,0 +1,114 @@
+package blas
+
+import "gridqr/internal/matrix"
+
+// Transpose selects op(A) = A or Aᵀ in level-2/3 routines.
+type Transpose bool
+
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+// Dgemv computes y = alpha*op(A)*x + beta*y.
+func Dgemv(t Transpose, alpha float64, a *matrix.Dense, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if t == NoTrans {
+		if len(x) != n || len(y) != m {
+			panic("blas: Dgemv shape mismatch")
+		}
+		if beta != 1 {
+			Dscal(beta, y)
+		}
+		for j := 0; j < n; j++ {
+			f := alpha * x[j]
+			if f == 0 {
+				continue
+			}
+			col := a.Col(j)
+			for i := range y {
+				y[i] += f * col[i]
+			}
+		}
+		return
+	}
+	if len(x) != m || len(y) != n {
+		panic("blas: Dgemv shape mismatch")
+	}
+	for j := 0; j < n; j++ {
+		y[j] = alpha*Ddot(a.Col(j), x) + beta*y[j]
+	}
+}
+
+// Dger computes A += alpha*x*yᵀ (rank-1 update).
+func Dger(alpha float64, x, y []float64, a *matrix.Dense) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("blas: Dger shape mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for j := 0; j < a.Cols; j++ {
+		f := alpha * y[j]
+		if f == 0 {
+			continue
+		}
+		col := a.Col(j)
+		for i := range x {
+			col[i] += f * x[i]
+		}
+	}
+}
+
+// Dtrmv computes x = op(U)*x for an upper triangular matrix stored in the
+// upper triangle of a (unit diagonal not supported; the QR kernels never
+// need it for trmv).
+func Dtrmv(t Transpose, a *matrix.Dense, x []float64) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n {
+		panic("blas: Dtrmv shape mismatch")
+	}
+	if t == NoTrans {
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := i; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			x[i] = s
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := 0; j <= i; j++ {
+			s += a.At(j, i) * x[j]
+		}
+		x[i] = s
+	}
+}
+
+// Dtrsv solves op(U)*x = b in place (x holds b on entry, the solution on
+// exit) for an upper triangular U stored in a.
+func Dtrsv(t Transpose, a *matrix.Dense, x []float64) {
+	n := a.Rows
+	if a.Cols != n || len(x) != n {
+		panic("blas: Dtrsv shape mismatch")
+	}
+	if t == NoTrans {
+		for i := n - 1; i >= 0; i-- {
+			s := x[i]
+			for j := i + 1; j < n; j++ {
+				s -= a.At(i, j) * x[j]
+			}
+			x[i] = s / a.At(i, i)
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= a.At(j, i) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+}

@@ -1,0 +1,330 @@
+package blas
+
+import (
+	"runtime"
+	"sync"
+
+	"gridqr/internal/matrix"
+)
+
+// gemmParallelThreshold is the flop count below which Dgemm stays
+// single-threaded; spawning goroutines for tiny products costs more than
+// it saves.
+const gemmParallelThreshold = 1 << 20
+
+// Side selects whether the triangular/orthogonal operand multiplies from
+// the left or the right in Dtrmm/Dtrsm.
+type Side bool
+
+const (
+	Left  Side = false
+	Right Side = true
+)
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C. Large products are split
+// column-wise across GOMAXPROCS goroutines; small ones run inline.
+func Dgemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	m, ka := opShape(ta, a)
+	kb, n := opShape(tb, b)
+	if ka != kb || c.Rows != m || c.Cols != n {
+		panic("blas: Dgemm shape mismatch")
+	}
+	k := ka
+	workers := runtime.GOMAXPROCS(0)
+	if 2*m*n*k < gemmParallelThreshold || workers < 2 || n < 2 {
+		gemmCols(ta, tb, alpha, a, b, beta, c, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		j0 := w * chunk
+		j1 := min(j0+chunk, n)
+		if j0 >= j1 {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gemmCols(ta, tb, alpha, a, b, beta, c, j0, j1)
+		}()
+	}
+	wg.Wait()
+}
+
+func opShape(t Transpose, a *matrix.Dense) (rows, cols int) {
+	if t == NoTrans {
+		return a.Rows, a.Cols
+	}
+	return a.Cols, a.Rows
+}
+
+// gemmCols computes columns [j0, j1) of C. Each case is organized so the
+// innermost loop runs down contiguous columns.
+func gemmCols(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, j0, j1 int) {
+	k, _ := opShape(tb, b)
+	for j := j0; j < j1; j++ {
+		cj := c.Col(j)
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			Dscal(beta, cj)
+		}
+		switch {
+		case ta == NoTrans && tb == NoTrans:
+			bj := b.Col(j)
+			for l := 0; l < k; l++ {
+				f := alpha * bj[l]
+				if f == 0 {
+					continue
+				}
+				al := a.Col(l)
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		case ta == NoTrans && tb == Trans:
+			for l := 0; l < k; l++ {
+				f := alpha * b.At(j, l)
+				if f == 0 {
+					continue
+				}
+				al := a.Col(l)
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		case ta == Trans && tb == NoTrans:
+			bj := b.Col(j)
+			for i := range cj {
+				cj[i] += alpha * Ddot(a.Col(i), bj)
+			}
+		default: // Trans, Trans
+			for i := range cj {
+				ai := a.Col(i)
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ai[l] * b.At(j, l)
+				}
+				cj[i] += alpha * s
+			}
+		}
+	}
+}
+
+// Dtrmm computes B = alpha*op(T)*B (side Left) or B = alpha*B*op(T) (side
+// Right), where T is upper triangular, optionally unit-diagonal, stored in
+// the upper triangle of t.
+func Dtrmm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if t.Cols != n {
+		panic("blas: Dtrmm triangular operand not square")
+	}
+	if side == Left {
+		if b.Rows != n {
+			panic("blas: Dtrmm shape mismatch")
+		}
+		for j := 0; j < b.Cols; j++ {
+			col := b.Col(j)
+			if trans == NoTrans {
+				for i := 0; i < n; i++ {
+					var s float64
+					if unit {
+						s = col[i]
+					} else {
+						s = t.At(i, i) * col[i]
+					}
+					for l := i + 1; l < n; l++ {
+						s += t.At(i, l) * col[l]
+					}
+					col[i] = alpha * s
+				}
+			} else {
+				for i := n - 1; i >= 0; i-- {
+					var s float64
+					if unit {
+						s = col[i]
+					} else {
+						s = t.At(i, i) * col[i]
+					}
+					for l := 0; l < i; l++ {
+						s += t.At(l, i) * col[l]
+					}
+					col[i] = alpha * s
+				}
+			}
+		}
+		return
+	}
+	if b.Cols != n {
+		panic("blas: Dtrmm shape mismatch")
+	}
+	// B = alpha * B * op(T): process columns in an order that lets us
+	// update in place.
+	if trans == NoTrans {
+		for j := n - 1; j >= 0; j-- {
+			cj := b.Col(j)
+			var d float64 = 1
+			if !unit {
+				d = t.At(j, j)
+			}
+			for i := range cj {
+				cj[i] *= alpha * d
+			}
+			for l := 0; l < j; l++ {
+				f := alpha * t.At(l, j)
+				if f == 0 {
+					continue
+				}
+				cl := b.Col(l)
+				for i := range cj {
+					cj[i] += f * cl[i]
+				}
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		cj := b.Col(j)
+		var d float64 = 1
+		if !unit {
+			d = t.At(j, j)
+		}
+		for i := range cj {
+			cj[i] *= alpha * d
+		}
+		for l := j + 1; l < n; l++ {
+			f := alpha * t.At(j, l)
+			if f == 0 {
+				continue
+			}
+			cl := b.Col(l)
+			for i := range cj {
+				cj[i] += f * cl[i]
+			}
+		}
+	}
+}
+
+// Dtrsm solves op(T)*X = alpha*B (side Left) or X*op(T) = alpha*B (side
+// Right) for X, overwriting B. T is upper triangular, optionally
+// unit-diagonal.
+func Dtrsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if t.Cols != n {
+		panic("blas: Dtrsm triangular operand not square")
+	}
+	if side == Left {
+		if b.Rows != n {
+			panic("blas: Dtrsm shape mismatch")
+		}
+		for j := 0; j < b.Cols; j++ {
+			col := b.Col(j)
+			if alpha != 1 {
+				Dscal(alpha, col)
+			}
+			if trans == NoTrans {
+				for i := n - 1; i >= 0; i-- {
+					s := col[i]
+					for l := i + 1; l < n; l++ {
+						s -= t.At(i, l) * col[l]
+					}
+					if !unit {
+						s /= t.At(i, i)
+					}
+					col[i] = s
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					s := col[i]
+					for l := 0; l < i; l++ {
+						s -= t.At(l, i) * col[l]
+					}
+					if !unit {
+						s /= t.At(i, i)
+					}
+					col[i] = s
+				}
+			}
+		}
+		return
+	}
+	if b.Cols != n {
+		panic("blas: Dtrsm shape mismatch")
+	}
+	if alpha != 1 {
+		for j := 0; j < n; j++ {
+			Dscal(alpha, b.Col(j))
+		}
+	}
+	if trans == NoTrans {
+		// X*T = B: solve column by column left to right.
+		for j := 0; j < n; j++ {
+			cj := b.Col(j)
+			for l := 0; l < j; l++ {
+				f := t.At(l, j)
+				if f == 0 {
+					continue
+				}
+				cl := b.Col(l)
+				for i := range cj {
+					cj[i] -= f * cl[i]
+				}
+			}
+			if !unit {
+				Dscal(1/t.At(j, j), cj)
+			}
+		}
+		return
+	}
+	// X*Tᵀ = B: right to left.
+	for j := n - 1; j >= 0; j-- {
+		cj := b.Col(j)
+		for l := j + 1; l < n; l++ {
+			f := t.At(j, l)
+			if f == 0 {
+				continue
+			}
+			cl := b.Col(l)
+			for i := range cj {
+				cj[i] -= f * cl[i]
+			}
+		}
+		if !unit {
+			Dscal(1/t.At(j, j), cj)
+		}
+	}
+}
+
+// Dsyrk computes the upper triangle of C = alpha*opᵀ(A)*op(A) + beta*C
+// with op selected so the result is C += alpha*AᵀA (trans=Trans) or
+// C += alpha*AAᵀ (trans=NoTrans). Only the upper triangle of C is touched.
+func Dsyrk(trans Transpose, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense) {
+	var n int
+	if trans == Trans {
+		n = a.Cols
+	} else {
+		n = a.Rows
+	}
+	if c.Rows != n || c.Cols != n {
+		panic("blas: Dsyrk shape mismatch")
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			var s float64
+			if trans == Trans {
+				s = Ddot(a.Col(i), a.Col(j))
+			} else {
+				for l := 0; l < a.Cols; l++ {
+					s += a.At(i, l) * a.At(j, l)
+				}
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}

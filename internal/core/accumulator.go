@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+)
+
+// Accumulator maintains the R factor of all rows pushed so far using the
+// flat-tree TSQR recurrence — the out-of-core/streaming regime of the
+// paper's related work (§II-C cites Gunter & van de Geijn's out-of-core
+// QR, which is exactly TSQR with a flat tree). Memory use is O(N²) plus
+// one buffered block, regardless of how many rows stream through, so the
+// R factor (and with it least-squares normal data, Gram matrices, or
+// condition estimates) of arbitrarily long datasets can be computed in
+// one pass.
+//
+// Accumulator is not safe for concurrent use.
+type Accumulator struct {
+	n    int
+	r    *matrix.Dense // current R, nil until the first N rows arrived
+	buf  *matrix.Dense // pending rows (fewer than n so far)
+	used int           // filled rows of buf
+	rows int64         // total rows consumed
+}
+
+// NewAccumulator creates an accumulator for n-column row streams.
+func NewAccumulator(n int) *Accumulator {
+	if n < 1 {
+		panic("core: accumulator needs at least one column")
+	}
+	return &Accumulator{n: n}
+}
+
+// Push folds a block of rows into the running factorization. The block
+// may have any number of rows (including fewer than the column count);
+// its contents are not modified.
+func (a *Accumulator) Push(block *matrix.Dense) {
+	if block.Cols != a.n {
+		panic(fmt.Sprintf("core: accumulator push with %d columns, want %d", block.Cols, a.n))
+	}
+	a.rows += int64(block.Rows)
+	rem := block
+	for rem.Rows > 0 {
+		if a.used > 0 || rem.Rows < a.n {
+			// Fill the pending buffer first.
+			if a.buf == nil {
+				a.buf = matrix.New(2*a.n, a.n)
+			}
+			take := min(rem.Rows, 2*a.n-a.used)
+			matrix.Copy(a.buf.View(a.used, 0, take, a.n), rem.View(0, 0, take, a.n))
+			a.used += take
+			rem = rem.View(take, 0, rem.Rows-take, a.n)
+			if a.used == 2*a.n {
+				a.fold(a.buf)
+				a.used = 0
+			}
+			continue
+		}
+		// Large direct block: factor in one shot.
+		a.fold(rem)
+		rem = rem.View(rem.Rows, 0, 0, a.n)
+	}
+}
+
+// fold absorbs a block (rows >= 1) into r via QR + stacked merge.
+func (a *Accumulator) fold(block *matrix.Dense) {
+	f := block.Clone()
+	tau := make([]float64, min(f.Rows, a.n))
+	lapack.Dgeqrf(f, tau, 0)
+	rb := lapack.TriuCopy(f)
+	if rb.Rows < a.n {
+		// Fewer rows than columns: pad to a square triangle.
+		sq := matrix.New(a.n, a.n)
+		matrix.Copy(sq.View(0, 0, rb.Rows, a.n), rb)
+		rb = sq
+	} else {
+		rb = rb.View(0, 0, a.n, a.n).Clone()
+	}
+	if a.r == nil {
+		a.r = rb
+		return
+	}
+	a.r, _, _ = lapack.StackQR(a.r, rb)
+}
+
+// R returns the current N×N upper triangular factor of everything pushed
+// so far (flushing internal buffers), with nonnegative diagonal so
+// results are unique. Rows pushed after calling R keep accumulating.
+func (a *Accumulator) R() *matrix.Dense {
+	if a.used > 0 {
+		a.fold(a.buf.View(0, 0, a.used, a.n))
+		a.used = 0
+	}
+	if a.r == nil {
+		return matrix.New(a.n, a.n)
+	}
+	out := a.r.Clone()
+	lapack.NormalizeRSigns(out, nil)
+	return out
+}
+
+// Rows returns the total number of rows consumed.
+func (a *Accumulator) Rows() int64 { return a.rows }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+func TestAccumulatorMatchesFullQR(t *testing.T) {
+	m, n := 300, 6
+	global := matrix.Random(m, n, 61)
+	acc := NewAccumulator(n)
+	// Push in uneven chunks.
+	for _, chunk := range []int{50, 1, 7, 100, 42, 100} {
+		acc.Push(global.View(int(acc.Rows()), 0, chunk, n))
+	}
+	if acc.Rows() != int64(m) {
+		t.Fatalf("rows = %d", acc.Rows())
+	}
+	r := acc.R()
+	if !matrix.Equal(r, refR(global), 1e-10) {
+		t.Fatal("streamed R differs from full QR")
+	}
+}
+
+func TestAccumulatorTinyChunks(t *testing.T) {
+	// Row-at-a-time streaming, rows < columns throughout.
+	m, n := 40, 8
+	global := matrix.Random(m, n, 62)
+	acc := NewAccumulator(n)
+	for i := 0; i < m; i++ {
+		acc.Push(global.View(i, 0, 1, n))
+	}
+	if !matrix.Equal(acc.R(), refR(global), 1e-10) {
+		t.Fatal("row-at-a-time R differs from full QR")
+	}
+}
+
+func TestAccumulatorChunkOrderInvariance(t *testing.T) {
+	// R is invariant (after sign normalization) to how the stream is cut.
+	m, n := 128, 5
+	global := matrix.Random(m, n, 63)
+	cuts := [][]int{{128}, {64, 64}, {1, 127}, {13, 50, 65}, {3, 3, 3, 119}}
+	var ref *matrix.Dense
+	for _, cut := range cuts {
+		acc := NewAccumulator(n)
+		off := 0
+		for _, c := range cut {
+			acc.Push(global.View(off, 0, c, n))
+			off += c
+		}
+		r := acc.R()
+		if ref == nil {
+			ref = r
+			continue
+		}
+		if !matrix.Equal(r, ref, 1e-10) {
+			t.Fatalf("cut %v changed R", cut)
+		}
+	}
+}
+
+func TestAccumulatorIncrementalQueries(t *testing.T) {
+	// R() mid-stream must reflect exactly the rows seen so far, and
+	// accumulation must continue correctly afterwards.
+	m, n := 90, 4
+	global := matrix.Random(m, n, 64)
+	acc := NewAccumulator(n)
+	acc.Push(global.View(0, 0, 30, n))
+	r30 := acc.R()
+	want30 := refR(global.View(0, 0, 30, n).Clone())
+	if !matrix.Equal(r30, want30, 1e-10) {
+		t.Fatal("mid-stream R wrong")
+	}
+	acc.Push(global.View(30, 0, 60, n))
+	if !matrix.Equal(acc.R(), refR(global), 1e-10) {
+		t.Fatal("post-query accumulation wrong")
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	acc := NewAccumulator(3)
+	r := acc.R()
+	if r.Rows != 3 || matrix.NormFrob(r) != 0 {
+		t.Fatal("empty accumulator must return a zero triangle")
+	}
+}
+
+func TestAccumulatorDoesNotModifyInput(t *testing.T) {
+	n := 4
+	block := matrix.Random(10, n, 65)
+	orig := block.Clone()
+	acc := NewAccumulator(n)
+	acc.Push(block)
+	if !matrix.Equal(block, orig, 0) {
+		t.Fatal("Push modified its input")
+	}
+}
+
+func TestAccumulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAccumulator(0)
+}
+
+func TestAccumulatorWrongWidthPanics(t *testing.T) {
+	acc := NewAccumulator(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	acc.Push(matrix.New(5, 4))
+}
+
+func TestAccumulatorNormInvariant(t *testing.T) {
+	// ‖R‖_F == ‖A‖_F streamed in chunks (orthogonal invariance).
+	m, n := 256, 7
+	global := matrix.Random(m, n, 66)
+	acc := NewAccumulator(n)
+	for off := 0; off < m; off += 32 {
+		acc.Push(global.View(off, 0, 32, n))
+	}
+	na, nr := matrix.NormFrob(global), matrix.NormFrob(acc.R())
+	if d := (na - nr) / na; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("norms differ: %g vs %g", na, nr)
+	}
+}

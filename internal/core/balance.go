@@ -1,0 +1,57 @@
+package core
+
+import (
+	"gridqr/internal/grid"
+)
+
+// BalanceRows implements the load-balancing extension the paper sketches
+// in Section III: instead of requiring equal computing power per group
+// (which forces the meta-scheduler to book half-empty nodes), "adapt the
+// number of rows attributed to each domain as a function of the
+// processing power dedicated to a domain".
+//
+// It returns row offsets over the grid's processes where each process
+// receives rows proportional to its cluster's kernel rate at panel width
+// n, subject to a floor of n rows per process (every TSQR domain must be
+// at least square). The total is exactly m.
+func BalanceRows(g *grid.Grid, m, n int) []int {
+	p := g.Procs()
+	if m < p*n {
+		panic("core: BalanceRows needs at least N rows per process")
+	}
+	rates := make([]float64, p)
+	var total float64
+	for r := 0; r < p; r++ {
+		rates[r] = g.KernelGflops(g.ClusterOf(r), n)
+		total += rates[r]
+	}
+	// Largest-remainder apportionment of m rows over the rates, with an
+	// n-row floor applied first.
+	floor := n
+	spare := m - p*floor
+	rows := make([]int, p)
+	rema := make([]float64, p)
+	assigned := 0
+	for r := 0; r < p; r++ {
+		exact := float64(spare) * rates[r] / total
+		rows[r] = int(exact)
+		rema[r] = exact - float64(rows[r])
+		assigned += rows[r]
+	}
+	// Distribute the leftover rows to the largest remainders.
+	for left := spare - assigned; left > 0; left-- {
+		best := 0
+		for r := 1; r < p; r++ {
+			if rema[r] > rema[best] {
+				best = r
+			}
+		}
+		rows[best]++
+		rema[best] = -1
+	}
+	offsets := make([]int, p+1)
+	for r := 0; r < p; r++ {
+		offsets[r+1] = offsets[r] + floor + rows[r]
+	}
+	return offsets
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+	"sync"
+)
+
+// heteroGrid returns a 2-cluster grid where cluster B's processors are
+// three times faster than cluster A's.
+func heteroGrid() *grid.Grid {
+	g := grid.SmallTestGrid(2, 2, 1)
+	g.Clusters[1].Gflops = 3 * g.Clusters[0].Gflops
+	return g
+}
+
+func TestBalanceRowsTotalsAndFloor(t *testing.T) {
+	g := heteroGrid()
+	m, n := 10_000, 16
+	off := BalanceRows(g, m, n)
+	if off[0] != 0 || off[len(off)-1] != m {
+		t.Fatalf("offsets do not cover the matrix: %v", off)
+	}
+	for r := 0; r < g.Procs(); r++ {
+		if off[r+1]-off[r] < n {
+			t.Fatalf("rank %d got %d rows < N", r, off[r+1]-off[r])
+		}
+	}
+}
+
+func TestBalanceRowsProportional(t *testing.T) {
+	g := heteroGrid()
+	m, n := 40_000, 16
+	off := BalanceRows(g, m, n)
+	slow := off[1] - off[0] // rank 0 on the slow cluster
+	fast := off[3] - off[2] // rank 2 on the fast cluster
+	ratio := float64(fast) / float64(slow)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("fast/slow row ratio = %g want ≈3", ratio)
+	}
+}
+
+func TestBalanceRowsUniformGrid(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	off := BalanceRows(g, 1000, 8)
+	want := scalapack.BlockOffsets(1000, 4)
+	for i := range want {
+		if off[i] != want[i] {
+			t.Fatalf("uniform grid: %v want %v", off, want)
+		}
+	}
+}
+
+func TestBalanceRowsPanicsWhenTooShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BalanceRows(heteroGrid(), 10, 16)
+}
+
+func TestBalancedTSQRFasterOnHeterogeneousGrid(t *testing.T) {
+	// The point of the extension: balanced row counts beat uniform ones
+	// in simulated time on a heterogeneous platform.
+	g := heteroGrid()
+	m, n := 1<<20, 32
+	run := func(offsets []int) float64 {
+		w := mpi.NewWorld(g, mpi.CostOnly())
+		w.Run(func(ctx *mpi.Ctx) {
+			Factorize(mpi.WorldComm(ctx), Input{M: m, N: n, Offsets: offsets},
+				Config{Tree: TreeGrid})
+		})
+		return w.MaxClock()
+	}
+	uniform := run(scalapack.BlockOffsets(m, g.Procs()))
+	balanced := run(BalanceRows(g, m, n))
+	if balanced >= uniform {
+		t.Fatalf("balanced (%g s) not faster than uniform (%g s)", balanced, uniform)
+	}
+	// With a 3:1 rate split the uniform run is dominated by the slow
+	// half; balancing should recover most of the gap (ideal = 0.5).
+	if balanced/uniform > 0.75 {
+		t.Fatalf("balanced/uniform = %g, expected a substantial win", balanced/uniform)
+	}
+}
+
+func TestBalancedTSQRNumericallyCorrect(t *testing.T) {
+	g := heteroGrid()
+	m, n := 4000, 8
+	global := matrix.Random(m, n, 9)
+	offsets := BalanceRows(g, m, n)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(global, offsets, ctx.Rank())}
+		res := Factorize(comm, in, Config{Tree: TreeGrid})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r = res.R
+			mu.Unlock()
+		}
+	})
+	lapack.NormalizeRSigns(r, nil)
+	if !matrix.Equal(r, refR(global), 1e-10) {
+		t.Fatal("balanced TSQR R differs from sequential")
+	}
+}

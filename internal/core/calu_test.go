@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// runCALU factors global with CALU and returns rank 0's result plus the
+// gathered factored matrix (L\U packed, in permuted row order).
+func runCALU(t *testing.T, g *grid.Grid, global *matrix.Dense, nb int) (*CALUResult, *matrix.Dense) {
+	t.Helper()
+	m, n := global.Rows, global.Cols
+	p := g.Procs()
+	offsets := scalapack.BlockOffsets(m, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var res *CALUResult
+	var packed *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(global, offsets, ctx.Rank())}
+		r := CALUFactorize(comm, in, CALUConfig{NB: nb})
+		pk := scalapack.Collect(comm, r.LLocal, offsets, n)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			res, packed = r, pk
+			mu.Unlock()
+		}
+	})
+	return res, packed
+}
+
+// checkCALU verifies P·A = L·U: for every factored row i,
+// A[perm[i], :] == (L·U)[i, :], with L unit lower trapezoidal and U the
+// packed upper triangle.
+func checkCALU(t *testing.T, global *matrix.Dense, res *CALUResult, packed *matrix.Dense, growthBound float64) {
+	t.Helper()
+	m, n := global.Rows, global.Cols
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k <= min(min(i, j), n-1); k++ {
+				var lv float64
+				switch {
+				case k == i:
+					lv = 1
+				case k < i:
+					lv = packed.At(i, k)
+				}
+				if k <= j {
+					s += lv * packed.At(k, j)
+				}
+			}
+			want := global.At(res.Perm[i], j)
+			if math.Abs(s-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("P·A != L·U at (%d,%d): %g vs %g", i, j, s, want)
+			}
+		}
+	}
+	if res.MaxL > growthBound {
+		t.Fatalf("max multiplier %g exceeds %g", res.MaxL, growthBound)
+	}
+	if res.U == nil || !matrix.IsUpperTriangular(res.U, 0) {
+		t.Fatal("U missing or not upper triangular")
+	}
+	// U must equal the upper triangle of the packed factor.
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			if res.U.At(i, j) != packed.At(i, j) {
+				t.Fatalf("gathered U mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCALUSquare(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	global := matrix.Random(64, 32, 1)
+	res, packed := runCALU(t, g, global, 4)
+	if res.Panels != 8 {
+		t.Fatalf("panels = %d want 8", res.Panels)
+	}
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALUTall(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	global := matrix.Random(256, 24, 2)
+	res, packed := runCALU(t, g, global, 8)
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALURaggedLastPanel(t *testing.T) {
+	g := grid.SmallTestGrid(1, 4, 1)
+	global := matrix.Random(128, 30, 3) // NB=8: last panel 6 wide
+	res, packed := runCALU(t, g, global, 8)
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALUSingleProcess(t *testing.T) {
+	g := grid.SmallTestGrid(1, 1, 1)
+	global := matrix.Random(40, 20, 4)
+	res, packed := runCALU(t, g, global, 4)
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALUShrinkingActiveSet(t *testing.T) {
+	// 4 ranks × 8 rows, N = 24: later panels exclude the top ranks.
+	g := grid.SmallTestGrid(1, 4, 1)
+	global := matrix.Random(32, 24, 5)
+	res, packed := runCALU(t, g, global, 8)
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALUTinyLeadingEntries(t *testing.T) {
+	// Without pivoting the first elimination would divide by 1e-13;
+	// tournament pivoting must keep multipliers small.
+	g := grid.SmallTestGrid(2, 2, 1)
+	global := matrix.Random(48, 16, 6)
+	for j := 0; j < 16; j++ {
+		global.Set(j, j, 1e-13)
+	}
+	res, packed := runCALU(t, g, global, 4)
+	checkCALU(t, global, res, packed, 25)
+}
+
+func TestCALUPermIsPermutation(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	global := matrix.Random(64, 16, 7)
+	res, _ := runCALU(t, g, global, 4)
+	seen := make([]bool, 64)
+	for _, p := range res.Perm {
+		if p < 0 || p >= 64 || seen[p] {
+			t.Fatalf("Perm is not a permutation: %v", res.Perm)
+		}
+		seen[p] = true
+	}
+}
+
+func TestCALUMatchesSolvingSystems(t *testing.T) {
+	// The factorization must actually solve A·x = b: forward/back
+	// substitution through (Perm, L, U).
+	g := grid.SmallTestGrid(1, 2, 1)
+	n := 16
+	global := matrix.Random(n*2, n, 8).View(0, 0, n, n).Clone()
+	// Pad rows to satisfy the block divisibility (2 ranks × 8 rows).
+	res, packed := runCALU(t, g, global, 8)
+	xTrue := matrix.Random(n, 1, 9).Col(0)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += global.At(i, j) * xTrue[j]
+		}
+		b[i] = s
+	}
+	// Permute b, then L·y = Pb, U·x = y.
+	pb := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pb[i] = b[res.Perm[i]]
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := pb[i]
+		for k := 0; k < i; k++ {
+			s -= packed.At(i, k) * y[k]
+		}
+		y[i] = s
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= packed.At(i, k) * x[k]
+		}
+		x[i] = s / packed.At(i, i)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solution differs at %d: %g vs %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCALURejectsCostOnly(t *testing.T) {
+	g := grid.SmallTestGrid(1, 2, 1)
+	offsets := scalapack.BlockOffsets(16, 2)
+	w := mpi.NewWorld(g, mpi.CostOnly())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(ctx *mpi.Ctx) {
+		CALUFactorize(mpi.WorldComm(ctx), Input{M: 16, N: 8, Offsets: offsets}, CALUConfig{NB: 4})
+	})
+}
+
+func TestCALUInterClusterMessagesPerPanel(t *testing.T) {
+	// Communication-avoidance on LU: per panel the tournament crosses
+	// clusters C−1 times and the two broadcasts O(active) times; no
+	// per-column traffic.
+	clusters := 3
+	g := grid.SmallTestGrid(clusters, 2, 1)
+	global := matrix.Random(240, 16, 10)
+	_, w := func() (*CALUResult, *mpi.World) {
+		m, n := 240, 16
+		offsets := scalapack.BlockOffsets(m, g.Procs())
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(global, offsets, ctx.Rank())}
+			CALUFactorize(comm, in, CALUConfig{NB: 4})
+		})
+		return nil, w
+	}()
+	panels := 4
+	perPanel := float64(w.Counters().Inter().Msgs) / float64(panels)
+	// Tournament 2 + pivot bcast ~4 + swaps ≤ 2·NB + two flat bcasts ≤ 8.
+	if perPanel > float64(2+4+2*4+8+4) {
+		t.Fatalf("%.1f inter-cluster messages per panel — not communication-avoiding", perPanel)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"gridqr/internal/blas"
+	"gridqr/internal/flops"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+)
+
+// caqrQTagBase scopes the explicit-Q pass's messages away from every
+// forward-phase range.
+const caqrQTagBase = 1 << 25
+
+// caqrBuildQ forms the explicit thin M×N Q factor of a CAQR
+// factorization by applying the recorded panel transformations in
+// reverse order to the distributed [I_N; 0] block: for each panel
+// (last first), the tree merges are unwound newest-first with
+// stacked-NoTrans applies on the panel's jb coupled rows, then the leaf
+// reflectors are applied locally.
+func caqrBuildQ(comm *mpi.Comm, in Input, recs []caqrPanelRec) *matrix.Dense {
+	ctx := comm.Ctx()
+	me := comm.Rank()
+	n := in.N
+	myOff := in.Offsets[me]
+	myRows := in.Offsets[me+1] - myOff
+	e := matrix.New(myRows, n)
+	for i := 0; i < myRows; i++ {
+		if g := myOff + i; g < n {
+			e.Set(i, g, 1)
+		}
+	}
+	for pi := len(recs) - 1; pi >= 0; pi-- {
+		rec := recs[pi]
+		base := caqrQTagBase + (rec.j/max(rec.jb, 1))*caqrTagStride
+		top := e.View(rec.lo, 0, rec.jb, n)
+		// Reverse of my forward participation: first undo my send (my
+		// rows were last touched by my absorber), then my own merges
+		// newest-first.
+		if rec.sentTag >= 0 {
+			comm.Send(rec.sentTo, top.Clone().Data, base+2*rec.sentTag)
+			back := matrix.FromColMajor(rec.jb, n, comm.Recv(rec.sentTo, base+2*rec.sentTag))
+			matrix.Copy(top, back)
+		}
+		for i := len(rec.log) - 1; i >= 0; i-- {
+			m := rec.log[i]
+			theirs := matrix.FromColMajor(rec.jb, n, comm.Recv(m.partner, base+2*m.tag))
+			lapack.ApplyStackQ(m.v, m.tau, false, top, theirs)
+			ctx.Charge(flops.StackApply(rec.jb, n), rec.jb)
+			comm.Send(m.partner, theirs.Data, base+2*m.tag)
+		}
+		// Leaf: apply this panel's reflectors to my block rows.
+		panel := in.Local.View(rec.lo, rec.j, rec.rows, rec.jb)
+		lapack.Dormqr(blas.NoTrans, panel, rec.tau, e.View(rec.lo, 0, rec.rows, n), 0)
+		ctx.Charge(flops.ORMQR(rec.rows, n, rec.jb), rec.jb)
+	}
+	return e
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// spdMatrix builds a well-conditioned SPD matrix BᵀB + n·I.
+func spdMatrix(n int, seed int64) *matrix.Dense {
+	b := matrix.Random(2*n, n, seed)
+	a := matrix.New(n, n)
+	blas.Dsyrk(blas.Trans, 1, b, 0, a)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			a.Set(j, i, a.At(i, j))
+		}
+		a.Set(j, j, a.At(j, j)+float64(n))
+	}
+	return a
+}
+
+// runCholesky factors an SPD matrix over the grid and returns rank 0's R.
+func runCholesky(t *testing.T, g *grid.Grid, a *matrix.Dense, nb int) (*CholeskyResult, *matrix.Dense) {
+	t.Helper()
+	n := a.Rows
+	p := g.Procs()
+	offsets := scalapack.BlockOffsets(n, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var res *CholeskyResult
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: n, N: n, Offsets: offsets, Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		out := CholeskyFactorize(comm, in, CholeskyConfig{NB: nb})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			res, r = out, out.R
+			mu.Unlock()
+		}
+	})
+	return res, r
+}
+
+func checkCholesky(t *testing.T, a, r *matrix.Dense) {
+	t.Helper()
+	n := a.Rows
+	if !matrix.IsUpperTriangular(r, 0) {
+		t.Fatal("R not upper triangular")
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			var s float64
+			for k := 0; k <= i; k++ {
+				s += r.At(k, i) * r.At(k, j)
+			}
+			if math.Abs(s-a.At(i, j)) > 1e-9*(1+math.Abs(a.At(i, j))) {
+				t.Fatalf("RᵀR != A at (%d,%d): %g vs %g", i, j, s, a.At(i, j))
+			}
+		}
+	}
+}
+
+func TestCholeskyDistributed(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	a := spdMatrix(64, 1)
+	res, r := runCholesky(t, g, a, 8)
+	if !res.OK {
+		t.Fatal("SPD matrix rejected")
+	}
+	if res.Panels != 8 {
+		t.Fatalf("panels = %d", res.Panels)
+	}
+	checkCholesky(t, a, r)
+}
+
+func TestCholeskyMatchesSequential(t *testing.T) {
+	g := grid.SmallTestGrid(1, 4, 1)
+	a := spdMatrix(32, 2)
+	_, r := runCholesky(t, g, a, 4)
+	seq := a.Clone()
+	if !lapack.Dpotrf(seq) {
+		t.Fatal("sequential reference failed")
+	}
+	for j := 0; j < 32; j++ {
+		for i := 0; i <= j; i++ {
+			if math.Abs(r.At(i, j)-seq.At(i, j)) > 1e-10 {
+				t.Fatalf("distributed R differs from Dpotrf at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskySingleProcess(t *testing.T) {
+	g := grid.SmallTestGrid(1, 1, 1)
+	a := spdMatrix(24, 3)
+	res, r := runCholesky(t, g, a, 8)
+	if !res.OK {
+		t.Fatal("rejected")
+	}
+	checkCholesky(t, a, r)
+}
+
+func TestCholeskyRaggedLastPanel(t *testing.T) {
+	g := grid.SmallTestGrid(1, 2, 1)
+	a := spdMatrix(22, 4) // NB=8: panels 8, 8, 6; blocks of 11 rows… not divisible
+	// Use NB that divides the 11-row blocks: NB=11.
+	res, r := runCholesky(t, g, a, 11)
+	if !res.OK {
+		t.Fatal("rejected")
+	}
+	checkCholesky(t, a, r)
+}
+
+func TestCholeskyDetectsIndefinite(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	a := spdMatrix(32, 5)
+	a.Set(20, 20, -1e6) // break positive definiteness mid-matrix
+	a.Set(20, 20, -1e6)
+	res, _ := runCholesky(t, g, a, 8)
+	if res.OK {
+		t.Fatal("indefinite matrix accepted")
+	}
+}
+
+func TestCholeskyIndefiniteInFinishedRanksPanel(t *testing.T) {
+	// Failure in a late panel after early ranks finished: the Allreduce
+	// handshake must keep everyone consistent (no deadlock, OK=false
+	// visible on rank 0 even though its rows were long done).
+	g := grid.SmallTestGrid(1, 4, 1)
+	a := spdMatrix(32, 6)
+	a.Set(31, 31, -1) // very last pivot fails
+	res, _ := runCholesky(t, g, a, 8)
+	if res.OK {
+		t.Fatal("late indefiniteness not reported")
+	}
+}
+
+func TestCholeskyCostOnly(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	n := 64
+	offsets := scalapack.BlockOffsets(n, g.Procs())
+	w := mpi.NewWorld(g, mpi.CostOnly())
+	w.Run(func(ctx *mpi.Ctx) {
+		res := CholeskyFactorize(mpi.WorldComm(ctx), Input{M: n, N: n, Offsets: offsets},
+			CholeskyConfig{NB: 8})
+		if !res.OK {
+			t.Error("cost-only run must succeed")
+		}
+	})
+	c := w.Counters()
+	if c.Total().Msgs == 0 || c.Flops == 0 || w.MaxClock() <= 0 {
+		t.Fatal("cost-only Cholesky charged nothing")
+	}
+}
+
+func TestCholeskyMessagesPerPanel(t *testing.T) {
+	// One broadcast per panel: messages ≈ panels × (active−1) + final
+	// allreduce + gather; far below per-column schemes.
+	g := grid.SmallTestGrid(2, 2, 1)
+	a := spdMatrix(64, 7)
+	offsets := scalapack.BlockOffsets(64, 4)
+	w := mpi.NewWorld(g)
+	w.Run(func(ctx *mpi.Ctx) {
+		in := Input{M: 64, N: 64, Offsets: offsets, Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		CholeskyFactorize(mpi.WorldComm(ctx), in, CholeskyConfig{NB: 16})
+	})
+	msgs := w.Counters().Total().Msgs
+	// 4 panels × ≤3 bcast sends + allreduce (2·3) + gather (3) ≈ 21.
+	if msgs > 25 {
+		t.Fatalf("messages = %d, expected ~one broadcast per panel", msgs)
+	}
+}
+
+func TestCholeskyPanicsOnRectangular(t *testing.T) {
+	g := grid.SmallTestGrid(1, 1, 1)
+	w := mpi.NewWorld(g, mpi.CostOnly())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(ctx *mpi.Ctx) {
+		CholeskyFactorize(mpi.WorldComm(ctx), Input{M: 8, N: 4, Offsets: []int{0, 8}}, CholeskyConfig{})
+	})
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"gridqr/internal/mpi"
+)
+
+// domain is one TSQR leaf: a consecutive group of world ranks jointly
+// factoring a contiguous block of global rows.
+type domain struct {
+	id      int   // global domain index
+	cluster int   // geographical site
+	ranks   []int // world ranks, leader first
+}
+
+func (d domain) leader() int { return d.ranks[0] }
+
+// layout describes the full domain decomposition, identical on every
+// rank (derived from the grid placement the middleware exposes).
+type layout struct {
+	domains    []domain
+	perCluster [][]int // cluster -> domain ids, in rank order
+	ofRank     []int   // world rank -> domain id
+}
+
+// buildLayout splits every cluster's ranks into domainsPerCluster equal
+// consecutive groups. It panics when the division is impossible — the
+// meta-scheduler's equal-power constraint guarantees it in practice.
+func buildLayout(ctx *mpi.Ctx, domainsPerCluster int) *layout {
+	g := ctx.World().Grid()
+	p := ctx.Size()
+	// Cluster rank ranges are contiguous by grid placement.
+	var clusterRanks [][]int
+	for r := 0; r < p; r++ {
+		c := g.ClusterOf(r)
+		if c == len(clusterRanks) {
+			clusterRanks = append(clusterRanks, nil)
+		}
+		clusterRanks[c] = append(clusterRanks[c], r)
+	}
+	l := &layout{perCluster: make([][]int, len(clusterRanks)), ofRank: make([]int, p)}
+	for c, ranks := range clusterRanks {
+		d := domainsPerCluster
+		if d == 0 {
+			d = len(ranks) // one domain per process
+		}
+		if d < 1 || len(ranks)%d != 0 {
+			panic(fmt.Sprintf("core: cluster %d has %d ranks, not divisible into %d domains",
+				c, len(ranks), d))
+		}
+		size := len(ranks) / d
+		for i := 0; i < d; i++ {
+			dom := domain{id: len(l.domains), cluster: c, ranks: ranks[i*size : (i+1)*size]}
+			l.perCluster[c] = append(l.perCluster[c], dom.id)
+			for _, r := range dom.ranks {
+				l.ofRank[r] = dom.id
+			}
+			l.domains = append(l.domains, dom)
+		}
+	}
+	return l
+}
+
+// mine returns the caller's domain.
+func (l *layout) mine(rank int) domain { return l.domains[l.ofRank[rank]] }
+
+// leaders returns the leader world rank of every domain, in domain order.
+func (l *layout) leaders() []int {
+	out := make([]int, len(l.domains))
+	for i, d := range l.domains {
+		out[i] = d.leader()
+	}
+	return out
+}

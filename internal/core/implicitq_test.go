@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// runImplicit factors a and exercises ApplyQT/ApplyQ inside one world
+// run, returning what the probe function extracts on rank 0.
+func runImplicit(t *testing.T, g *grid.Grid, a *matrix.Dense, tree Tree,
+	probe func(comm *mpi.Comm, res *Result) any) any {
+	t.Helper()
+	m, n := a.Rows, a.Cols
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var out any
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		res := Factorize(comm, in, Config{Tree: tree, KeepFactors: true, ShuffleSeed: 5})
+		v := probe(comm, res)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			out = v
+			mu.Unlock()
+		}
+	})
+	return out
+}
+
+func TestImplicitQTRecoversRviaA(t *testing.T) {
+	// Qᵀ·A = [R; 0]: applying QT to the ORIGINAL matrix must give R on
+	// top and zero rest.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, n := 120, 5
+	a := matrix.Random(m, n, 71)
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	type pair struct {
+		top  *matrix.Dense
+		rest []float64
+		r    *matrix.Dense
+	}
+	got := runImplicit(t, g, a, TreeGrid, func(comm *mpi.Comm, res *Result) any {
+		bl := scalapack.Distribute(a, offsets, comm.Rank())
+		top, rest := res.Q.ApplyQT(comm, bl)
+		return pair{top, rest, res.R}
+	}).(pair)
+	if !matrix.Equal(got.top, got.r, 1e-10) {
+		t.Fatal("QᵀA top block != R")
+	}
+	for j, s := range got.rest {
+		if s > 1e-18 {
+			t.Fatalf("QᵀA rest norm² %g nonzero (col %d)", s, j)
+		}
+	}
+}
+
+func TestImplicitRoundTrip(t *testing.T) {
+	// Q·(Qᵀ·b) must equal the projection of b onto range(A); for
+	// b ∈ range(A), that is b itself.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, n := 96, 4
+	a := matrix.Random(m, n, 72)
+	coeff := matrix.Random(n, 2, 73)
+	b := matrix.New(m, 2)
+	for i := 0; i < m; i++ {
+		for c := 0; c < 2; c++ {
+			var s float64
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * coeff.At(j, c)
+			}
+			b.Set(i, c, s)
+		}
+	}
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	diff := runImplicit(t, g, a, TreeGrid, func(comm *mpi.Comm, res *Result) any {
+		bl := scalapack.Distribute(b, offsets, comm.Rank())
+		top, _ := res.Q.ApplyQT(comm, bl)
+		back := res.Q.ApplyQ(comm, top)
+		full := scalapack.Collect(comm, back, offsets, 2)
+		if comm.Rank() != 0 {
+			return nil
+		}
+		worst := 0.0
+		for i := 0; i < m; i++ {
+			for c := 0; c < 2; c++ {
+				if d := math.Abs(full.At(i, c) - b.At(i, c)); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}).(float64)
+	if diff > 1e-11 {
+		t.Fatalf("Q·Qᵀ·b differs from b by %g for b in range(A)", diff)
+	}
+}
+
+func TestImplicitMatchesExplicitQ(t *testing.T) {
+	// ApplyQ(e_j) columns must reproduce the explicit Q.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, n := 64, 4
+	a := matrix.Random(m, n, 74)
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var qImp, qExp *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		res := Factorize(comm, in, Config{Tree: TreeGrid, WantQ: true, KeepFactors: true})
+		var eye *matrix.Dense
+		if ctx.Rank() == 0 {
+			eye = matrix.Eye(n)
+		}
+		impLocal := res.Q.ApplyQ(comm, eye)
+		imp := scalapack.Collect(comm, impLocal, offsets, n)
+		exp := scalapack.Collect(comm, res.QLocal, offsets, n)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			qImp, qExp = imp, exp
+			mu.Unlock()
+		}
+	})
+	if !matrix.Equal(qImp, qExp, 1e-11) {
+		t.Fatal("implicit Q(I) differs from explicit Q")
+	}
+}
+
+func TestImplicitQTShuffledTree(t *testing.T) {
+	// The root-relocation path: shuffled tree whose root is not rank 0.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, n := 80, 4
+	a := matrix.Random(m, n, 75)
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	type pair struct {
+		top *matrix.Dense
+		r   *matrix.Dense
+	}
+	got := runImplicit(t, g, a, TreeBinaryShuffled, func(comm *mpi.Comm, res *Result) any {
+		bl := scalapack.Distribute(a, offsets, comm.Rank())
+		top, _ := res.Q.ApplyQT(comm, bl)
+		return pair{top, res.R}
+	}).(pair)
+	if got.top == nil || got.r == nil {
+		t.Fatal("missing results on rank 0")
+	}
+	if !matrix.Equal(got.top, got.r, 1e-10) {
+		t.Fatal("shuffled-tree QᵀA top != R")
+	}
+}
+
+func TestImplicitRepeatedApplies(t *testing.T) {
+	// Several applies through the same handle must not cross-talk
+	// (per-apply tag ranges).
+	g := grid.SmallTestGrid(1, 4, 1)
+	m, n := 64, 3
+	a := matrix.Random(m, n, 76)
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	ok := runImplicit(t, g, a, TreeBinary, func(comm *mpi.Comm, res *Result) any {
+		for trial := 0; trial < 3; trial++ {
+			bl := scalapack.Distribute(a, offsets, comm.Rank())
+			top, _ := res.Q.ApplyQT(comm, bl)
+			if comm.Rank() == 0 && !matrix.Equal(top, res.R, 1e-10) {
+				return false
+			}
+		}
+		return true
+	}).(bool)
+	if !ok {
+		t.Fatal("repeated applies diverged")
+	}
+}
+
+func TestKeepFactorsRejectsMultiProcDomains(t *testing.T) {
+	g := grid.SmallTestGrid(1, 4, 1)
+	offsets := scalapack.BlockOffsets(64, 4)
+	w := mpi.NewWorld(g)
+	a := matrix.Random(64, 4, 77)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(ctx *mpi.Ctx) {
+		in := Input{M: 64, N: 4, Offsets: offsets, Local: scalapack.Distribute(a, offsets, ctx.Rank())}
+		Factorize(mpi.WorldComm(ctx), in, Config{DomainsPerCluster: 2, KeepFactors: true})
+	})
+}

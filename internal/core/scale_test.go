@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// TestGrid5000ScaleRealData runs TSQR with real arithmetic at the paper's
+// full process count — 256 goroutine ranks across the 4 simulated sites —
+// and verifies the numerics end to end. This exercises the runtime at the
+// exact scale of the experimental study (with a laptop-sized M).
+func TestGrid5000ScaleRealData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank run skipped in -short mode")
+	}
+	g := grid.Grid5000()
+	p := g.Procs() // 256
+	m, n := 16384, 16
+	global := matrix.Random(m, n, 99)
+	offsets := scalapack.BlockOffsets(m, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(global, offsets, ctx.Rank())}
+		res := Factorize(comm, in, Config{Tree: TreeGrid})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r = res.R
+			mu.Unlock()
+		}
+	})
+	lapack.NormalizeRSigns(r, nil)
+	if !matrix.Equal(r, refR(global), 1e-9) {
+		t.Fatal("256-rank TSQR differs from sequential QR")
+	}
+	// Inter-cluster messages: exactly C−1 = 3 even at full scale.
+	if got := w.Counters().Inter().Msgs; got != 3 {
+		t.Fatalf("inter-cluster messages = %d want 3", got)
+	}
+}
+
+// TestGrid5000ScaleWithDomainsAndQ exercises the 64-domain-per-cluster
+// configuration (4 procs per ScaLAPACK domain... 16 domains/cluster) with
+// explicit Q at the full rank count.
+func TestGrid5000ScaleWithDomainsAndQ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-rank run skipped in -short mode")
+	}
+	g := grid.Grid5000()
+	p := g.Procs()
+	m, n := 8192, 8
+	global := matrix.Random(m, n, 100)
+	offsets := scalapack.BlockOffsets(m, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r, q *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: scalapack.Distribute(global, offsets, ctx.Rank())}
+		res := Factorize(comm, in, Config{DomainsPerCluster: 16, Tree: TreeGrid, WantQ: true})
+		qf := scalapack.Collect(comm, res.QLocal, offsets, n)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r, q = res.R, qf
+			mu.Unlock()
+		}
+	})
+	if e := matrix.OrthoError(q); e > 1e-10 {
+		t.Fatalf("orthogonality %g at full scale", e)
+	}
+	if res := matrix.ResidualQR(global, q, r); res > 1e-10 {
+		t.Fatalf("residual %g at full scale", res)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import "math/rand"
+
+// merge is one edge of the reduction tree: domain src's R factor is sent
+// to domain dst and folded in there. Merges are listed in a global order
+// such that each domain's own merges appear in its correct local order;
+// the index of a merge doubles as its message tag.
+type merge struct {
+	dst, src int // domain ids
+}
+
+// buildSchedule lays out the reduction tree over domains and returns the
+// domain where the final R factor lands. When that is not domain 0, the
+// caller transfers the result to world rank 0 with one extra message.
+func buildSchedule(tree Tree, l *layout, seed int64) (ms []merge, root int) {
+	switch tree {
+	case TreeGrid:
+		return gridSchedule(l), 0
+	case TreeBinary:
+		ids := make([]int, len(l.domains))
+		for i := range ids {
+			ids[i] = i
+		}
+		return binomialSchedule(ids), 0
+	case TreeFlat:
+		for i := 1; i < len(l.domains); i++ {
+			ms = append(ms, merge{dst: 0, src: i})
+		}
+		return ms, 0
+	case TreeBinaryShuffled:
+		ids := make([]int, len(l.domains))
+		for i := range ids {
+			ids[i] = i
+		}
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		return binomialSchedule(ids), ids[0]
+	default:
+		panic("core: unknown tree")
+	}
+}
+
+// binomialSchedule reduces the listed domains onto ids[0] with a binomial
+// tree: in round k (mask = 1<<k), the domain at list index i (i divisible
+// by 2·mask) absorbs the one at i+mask. Rounds are emitted in order, so
+// every participant sees its merges in dependency order.
+func binomialSchedule(ids []int) []merge {
+	var ms []merge
+	n := len(ids)
+	for mask := 1; mask < n; mask <<= 1 {
+		for i := 0; i+mask < n; i += 2 * mask {
+			ms = append(ms, merge{dst: ids[i], src: ids[i+mask]})
+		}
+	}
+	return ms
+}
+
+// gridSchedule is the paper's tuned tree: a binomial reduction among each
+// cluster's domains, then a binomial reduction among the cluster roots.
+// Only the second stage crosses clusters: C−1 inter-cluster messages.
+func gridSchedule(l *layout) []merge {
+	var ms []merge
+	var roots []int
+	for _, ids := range l.perCluster {
+		if len(ids) == 0 {
+			continue
+		}
+		ms = append(ms, binomialSchedule(ids)...)
+		roots = append(roots, ids[0])
+	}
+	ms = append(ms, binomialSchedule(roots)...)
+	return ms
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/flops"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// Message tag bases; each forward merge uses rTagBase+index and its
+// Q-construction counterpart qTagBase+index.
+const (
+	rTagBase  = 1 << 21
+	qTagBase  = 1 << 22
+	finalRTag = 1<<23 - 1
+)
+
+// Factorize runs QCG-TSQR on a world-spanning communicator (comm rank i
+// must be world rank i, as returned by mpi.WorldComm). Input.Local is
+// overwritten with factorization internals, like LAPACK. See Config for
+// the tree and domain knobs.
+func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
+	in.validate(comm)
+	ctx := comm.Ctx()
+	l := buildLayout(ctx, cfg.DomainsPerCluster)
+	for _, d := range l.domains {
+		rows := in.Offsets[d.ranks[len(d.ranks)-1]+1] - in.Offsets[d.leader()]
+		if rows < in.N {
+			panic(fmt.Sprintf("core: domain %d has %d rows < N=%d (matrix not tall enough for this decomposition)",
+				d.id, rows, in.N))
+		}
+	}
+	sched, rootDom := buildSchedule(cfg.Tree, l, cfg.ShuffleSeed)
+	me := comm.Rank()
+	dom := l.mine(me)
+
+	leaf := factorLeaf(comm, in, dom, cfg)
+	res := &Result{Domains: len(l.domains)}
+
+	// Forward reduction over domain leaders. Non-leaders are done until
+	// the Q pass.
+	r := leaf.r
+	var log []mergeRec
+	sentTo, sentTag := -1, -1
+	if me == dom.leader() {
+		for tag, m := range sched {
+			switch {
+			case m.dst == dom.id:
+				src := l.domains[m.src].leader()
+				rec := mergeRec{partner: src, tag: tag}
+				if ctx.HasData() {
+					rOther := unpackTriu(comm.Recv(src, rTagBase+tag), in.N)
+					r, rec.v, rec.tau = lapack.StackQR(r, rOther)
+				} else {
+					comm.Recv(src, rTagBase+tag)
+				}
+				ctx.Charge(flops.StackQR(in.N), in.N)
+				log = append(log, rec)
+			case m.src == dom.id:
+				dst := l.domains[m.dst].leader()
+				if ctx.HasData() {
+					comm.Send(dst, packTriu(r), rTagBase+tag)
+				} else {
+					comm.SendBytes(dst, triuBytes(in.N), rTagBase+tag)
+				}
+				sentTo, sentTag = dst, tag
+			}
+			if sentTag >= 0 {
+				break // my R has been absorbed; forward pass over
+			}
+		}
+		// A topology-oblivious tree can finish away from world rank 0
+		// (randomly distributed ranks, paper Fig. 1's remark); deliver
+		// the result with one extra message.
+		rootLeader := l.domains[rootDom].leader()
+		switch {
+		case me == rootLeader && rootLeader != 0:
+			if ctx.HasData() {
+				comm.Send(0, packTriu(r), finalRTag)
+			} else {
+				comm.SendBytes(0, triuBytes(in.N), finalRTag)
+			}
+		case me == 0 && rootLeader != 0:
+			if buf := comm.Recv(rootLeader, finalRTag); ctx.HasData() {
+				r = unpackTriu(buf, in.N)
+			}
+		}
+		if me == 0 && ctx.HasData() {
+			res.R = r
+		}
+	}
+
+	if cfg.WantQ {
+		res.QLocal = buildQ(comm, in, cfg, dom, leaf, log, sentTo, sentTag)
+	}
+	if cfg.KeepFactors {
+		if !ctx.HasData() {
+			panic("core: KeepFactors requires data mode")
+		}
+		if leaf.domComm != nil {
+			panic("core: KeepFactors requires one domain per process")
+		}
+		res.Q = &ImplicitQ{
+			n: in.N, offsets: in.Offsets, leaf: leaf, log: log,
+			sentTo: sentTo, sentTag: sentTag, leader: me == dom.leader(),
+			root: l.domains[rootDom].leader(),
+		}
+	}
+	return res
+}
+
+// mergeRec remembers one merge a leader performed, for the backward Q
+// pass: the implicit Q of the stacked-triangles QR and who contributed
+// the absorbed R.
+type mergeRec struct {
+	v       *matrix.Dense
+	tau     []float64
+	partner int
+	tag     int
+}
+
+// leafState is what the leaf factorization leaves behind for Q
+// construction.
+type leafState struct {
+	r *matrix.Dense // leader only, data mode only
+
+	// Single-process domains: the locally factored block and its taus.
+	localF   *matrix.Dense
+	localTau []float64
+
+	// Multi-process domains: the domain communicator and distributed
+	// factorization.
+	domComm *mpi.Comm
+	slf     *scalapack.Factorization
+}
+
+// factorLeaf computes this domain's R factor: LAPACK for single-process
+// domains, a ScaLAPACK call on the domain communicator otherwise (the
+// paper's Section III).
+func factorLeaf(comm *mpi.Comm, in Input, dom domain, cfg Config) leafState {
+	ctx := comm.Ctx()
+	if len(dom.ranks) == 1 {
+		st := leafState{}
+		myRows := in.Offsets[comm.Rank()+1] - in.Offsets[comm.Rank()]
+		if ctx.HasData() {
+			st.localF = in.Local
+			if cfg.Recursive {
+				st.localTau = lapack.TausOf(lapack.Dgeqr3(st.localF))
+			} else {
+				st.localTau = make([]float64, in.N)
+				lapack.Dgeqrf(st.localF, st.localTau, cfg.NB)
+			}
+			st.r = lapack.TriuCopy(st.localF).View(0, 0, in.N, in.N).Clone()
+		}
+		ctx.Charge(flops.GEQRF(myRows, in.N), in.N)
+		return st
+	}
+	// Multi-process domain: split off a communicator and call ScaLAPACK.
+	members := append([]int(nil), dom.ranks...)
+	domComm := comm.Sub(members, fmt.Sprintf("dom%d", dom.id))
+	base := in.Offsets[dom.ranks[0]]
+	offsets := make([]int, len(dom.ranks)+1)
+	for i, rk := range dom.ranks {
+		offsets[i] = in.Offsets[rk] - base
+	}
+	offsets[len(dom.ranks)] = in.Offsets[dom.ranks[len(dom.ranks)-1]+1] - base
+	slIn := scalapack.Input{
+		M: offsets[len(dom.ranks)], N: in.N,
+		Offsets: offsets,
+		Local:   in.Local,
+	}
+	f := scalapack.PDGEQR2(domComm, slIn)
+	return leafState{r: f.R, domComm: domComm, slf: f}
+}
+
+// buildQ performs the backward pass of TSQR Q construction: starting from
+// the identity at the tree root, each merge node splits its n×n seed into
+// a top block (kept) and a bottom block (sent to the domain whose R was
+// absorbed there), using the implicit Q of that merge. Leaves finally
+// expand their seed through the leaf factorization's implicit Q into
+// their rows of the explicit Q factor.
+func buildQ(comm *mpi.Comm, in Input, cfg Config, dom domain, leaf leafState,
+	log []mergeRec, sentTo, sentTag int) *matrix.Dense {
+	ctx := comm.Ctx()
+	n := in.N
+	me := comm.Rank()
+	var seed *matrix.Dense
+	if me == dom.leader() {
+		// Obtain my seed: from the absorber of my R, or I as the root.
+		if sentTag >= 0 {
+			buf := comm.Recv(sentTo, qTagBase+sentTag)
+			if ctx.HasData() {
+				seed = matrix.FromColMajor(n, n, buf)
+			}
+		} else if ctx.HasData() {
+			seed = matrix.Eye(n)
+		}
+		// Unwind my merges, newest first.
+		for i := len(log) - 1; i >= 0; i-- {
+			rec := log[i]
+			if ctx.HasData() {
+				bottom := matrix.New(n, n)
+				lapack.ApplyStackQ(rec.v, rec.tau, false, seed, bottom)
+				comm.Send(rec.partner, bottom.Data, qTagBase+rec.tag)
+			} else {
+				comm.SendBytes(rec.partner, 8*float64(n*n), qTagBase+rec.tag)
+			}
+			ctx.Charge(flops.StackQRApplyQ(n), n)
+		}
+	}
+	// Expand the seed through the leaf's implicit Q. The charge is the
+	// structured cost of the paper's Table II (the Q pass mirrors the
+	// factorization pass), independent of how the data-mode apply is
+	// performed.
+	if leaf.domComm != nil {
+		return scalapack.ApplyQTop(leaf.domComm, leaf.slf, seed)
+	}
+	myRows := in.Offsets[me+1] - in.Offsets[me]
+	ctx.Charge(flops.ORGQR(myRows, n), n)
+	if !ctx.HasData() {
+		return nil
+	}
+	q := matrix.New(myRows, n)
+	matrix.Copy(q.View(0, 0, n, n), seed)
+	lapack.Dormqr(blas.NoTrans, leaf.localF, leaf.localTau, q, cfg.NB)
+	return q
+}

@@ -1,0 +1,99 @@
+package grid
+
+// Grid'5000 figures from the paper.
+//
+// Fig. 3(a) gives the measured latency (ms) and throughput (Mb/s) between
+// the four sites used in the experimental study; Section V-A gives the
+// node counts (32 dual-processor nodes reserved per site) and the
+// practical per-processor DGEMM peak of about 3.67 Gflop/s; Section II-D
+// gives the 17 µs / 5 Gb/s shared-memory figures between two processors
+// of a node.
+
+const (
+	mbps = 1e6 / 8 // megabit/s in bytes/s
+	gbps = 1e9 / 8 // gigabit/s in bytes/s
+	ms   = 1e-3
+)
+
+// Site indices of the Grid5000 preset, in the order of Fig. 3(a).
+const (
+	Orsay = iota
+	Toulouse
+	Bordeaux
+	Sophia
+)
+
+// Grid5000 returns the four-site platform of the paper's experiments:
+// Orsay, Toulouse, Bordeaux and Sophia-Antipolis, each contributing 32
+// dual-processor nodes (64 processes per site, 256 total).
+func Grid5000() *Grid {
+	lat := [4][4]float64{ // milliseconds, upper triangle + diagonal
+		{0.07, 7.97, 6.98, 6.12},
+		{0, 0.03, 9.03, 8.18},
+		{0, 0, 0.05, 7.18},
+		{0, 0, 0, 0.06},
+	}
+	bw := [4][4]float64{ // Mb/s
+		{890, 78, 90, 102},
+		{0, 890, 77, 90},
+		{0, 0, 890, 83},
+		{0, 0, 0, 890},
+	}
+	names := []string{"Orsay", "Toulouse", "Bordeaux", "Sophia"}
+	g := &Grid{
+		Clusters:  make([]Cluster, 4),
+		Inter:     make([][]Link, 4),
+		IntraNode: Link{Latency: 17e-6, Bandwidth: 5 * gbps},
+		// Fit through the paper's measured single-site QR rates
+		// (≈0.52 Gflop/s per process at N=64, ≈1.48 at N=512).
+		KernelHalfN: 184,
+		KernelEff:   0.55,
+	}
+	for i := range g.Clusters {
+		g.Clusters[i] = Cluster{Name: names[i], Nodes: 32, ProcsPerNode: 2, Gflops: 3.67}
+	}
+	for i := 0; i < 4; i++ {
+		g.Inter[i] = make([]Link, 4)
+		for j := 0; j < 4; j++ {
+			a, b := i, j
+			if a > b {
+				a, b = b, a
+			}
+			g.Inter[i][j] = Link{Latency: lat[a][b] * ms, Bandwidth: bw[a][b] * mbps}
+		}
+	}
+	return g
+}
+
+// SmallTestGrid returns a miniature heterogeneous grid for fast unit
+// tests: nClusters sites of nodes×procsPerNode processors with link
+// parameters scaled like Grid'5000 (inter-cluster latency two orders of
+// magnitude above intra-cluster).
+func SmallTestGrid(nClusters, nodes, procsPerNode int) *Grid {
+	g := &Grid{
+		Clusters:    make([]Cluster, nClusters),
+		Inter:       make([][]Link, nClusters),
+		IntraNode:   Link{Latency: 17e-6, Bandwidth: 5 * gbps},
+		KernelHalfN: 184,
+		KernelEff:   0.55,
+	}
+	for i := range g.Clusters {
+		g.Clusters[i] = Cluster{
+			Name:         string(rune('A' + i)),
+			Nodes:        nodes,
+			ProcsPerNode: procsPerNode,
+			Gflops:       3.67,
+		}
+	}
+	for i := range g.Inter {
+		g.Inter[i] = make([]Link, nClusters)
+		for j := range g.Inter[i] {
+			if i == j {
+				g.Inter[i][j] = Link{Latency: 0.05 * ms, Bandwidth: 890 * mbps}
+			} else {
+				g.Inter[i][j] = Link{Latency: 7 * ms, Bandwidth: 85 * mbps}
+			}
+		}
+	}
+	return g
+}

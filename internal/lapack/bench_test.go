@@ -1,0 +1,161 @@
+package lapack
+
+import (
+	"fmt"
+	"testing"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/flops"
+	"gridqr/internal/matrix"
+)
+
+func BenchmarkDgeqr2(b *testing.B) {
+	m, n := 4096, 32
+	a := matrix.Random(m, n, 1)
+	f := matrix.New(m, n)
+	tau := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Copy(f, a)
+		Dgeqr2(f, tau)
+	}
+	b.ReportMetric(flops.GEQRF(m, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkDgeqrf(b *testing.B) {
+	for _, tc := range []struct{ m, n, nb int }{
+		{1 << 14, 64, 32}, {1 << 13, 256, 64},
+	} {
+		b.Run(fmt.Sprintf("%dx%d_nb%d", tc.m, tc.n, tc.nb), func(b *testing.B) {
+			a := matrix.Random(tc.m, tc.n, 2)
+			f := matrix.New(tc.m, tc.n)
+			tau := make([]float64, tc.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Copy(f, a)
+				Dgeqrf(f, tau, tc.nb)
+			}
+			b.ReportMetric(flops.GEQRF(tc.m, tc.n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+func BenchmarkDtpqrt2(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			r1 := randTriu(n, 1)
+			r2 := randTriu(n, 2)
+			f1 := matrix.New(n, n)
+			f2 := matrix.New(n, n)
+			tau := make([]float64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Copy(f1, r1)
+				matrix.Copy(f2, r2)
+				Dtpqrt2(f1, f2, tau)
+			}
+			b.ReportMetric(flops.StackQR(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+func BenchmarkDormqr(b *testing.B) {
+	m, k, n := 1<<13, 64, 64
+	a := matrix.Random(m, k, 3)
+	tau := make([]float64, k)
+	Dgeqrf(a, tau, 0)
+	c := matrix.Random(m, n, 4)
+	scratch := matrix.New(m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Copy(scratch, c)
+		Dormqr(blas.Trans, a, tau, scratch, 0)
+	}
+}
+
+func BenchmarkDorgqr(b *testing.B) {
+	m, n := 1<<13, 64
+	a := matrix.Random(m, n, 5)
+	tau := make([]float64, n)
+	Dgeqrf(a, tau, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dorgqr(a, tau, n)
+	}
+}
+
+func BenchmarkDgetf2(b *testing.B) {
+	m, n := 4096, 32
+	a := matrix.Random(m, n, 6)
+	f := matrix.New(m, n)
+	ipiv := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Copy(f, a)
+		Dgetf2(f, ipiv)
+	}
+	b.ReportMetric(flops.GETF2(m, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}
+
+func BenchmarkDpotrf(b *testing.B) {
+	n := 128
+	base := matrix.Random(2*n, n, 7)
+	spd := matrix.New(n, n)
+	blas.Dsyrk(blas.Trans, 1, base, 0, spd)
+	for i := 0; i < n; i++ {
+		spd.Set(i, i, spd.At(i, i)+1)
+	}
+	f := matrix.New(n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Copy(f, spd)
+		if !Dpotrf(f) {
+			b.Fatal("not SPD")
+		}
+	}
+}
+
+func BenchmarkDgeqr3(b *testing.B) {
+	// The recursive kernel at the same shapes as BenchmarkDgeqrf, for
+	// the local-kernel ablation the paper's conclusion suggests.
+	for _, tc := range []struct{ m, n int }{
+		{1 << 14, 64}, {1 << 13, 256},
+	} {
+		b.Run(fmt.Sprintf("%dx%d", tc.m, tc.n), func(b *testing.B) {
+			a := matrix.Random(tc.m, tc.n, 8)
+			f := matrix.New(tc.m, tc.n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Copy(f, a)
+				Dgeqr3(f)
+			}
+			b.ReportMetric(flops.GEQRF(tc.m, tc.n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+		})
+	}
+}
+
+func BenchmarkDtpqrtBlockedVsUnblocked(b *testing.B) {
+	// The kernel ablation behind StackQR's blocked threshold.
+	n := 512
+	r1 := randTriu(n, 1)
+	r2 := randTriu(n, 2)
+	f1 := matrix.New(n, n)
+	f2 := matrix.New(n, n)
+	tau := make([]float64, n)
+	b.Run("unblocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matrix.Copy(f1, r1)
+			matrix.Copy(f2, r2)
+			Dtpqrt2(f1, f2, tau)
+		}
+		b.ReportMetric(flops.StackQR(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	})
+	b.Run("blocked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			matrix.Copy(f1, r1)
+			matrix.Copy(f2, r2)
+			Dtpqrt(f1, f2, tau, 32)
+		}
+		b.ReportMetric(flops.StackQR(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	})
+}

@@ -1,0 +1,84 @@
+package lapack
+
+import (
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// Dgeqr3 computes the QR factorization of a with the recursive
+// Elmroth-Gustavson algorithm (RGEQR3) — the "recursive factorizations
+// [that] have been shown to achieve a higher performance" the paper's
+// conclusion points to. Unlike the fixed-width blocked Dgeqrf, recursion
+// turns almost all work into matrix-matrix products.
+//
+// On return a holds R in its upper triangle and the reflectors V below
+// the diagonal (same layout as Dgeqrf), and the returned n×n upper
+// triangular T satisfies Q = I − V·T·Vᵀ. The diagonal of T equals the
+// Householder taus, so the factorization is drop-in compatible with
+// Dormqr/Dorgqr.
+func Dgeqr3(a *matrix.Dense) *matrix.Dense {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("lapack: Dgeqr3 requires m >= n")
+	}
+	t := matrix.New(n, n)
+	dgeqr3(a, t)
+	return t
+}
+
+func dgeqr3(a, t *matrix.Dense) {
+	m, n := a.Rows, a.Cols
+	if n == 1 {
+		col := a.Col(0)
+		beta, tau := Dlarfg(col[0], col[1:])
+		col[0] = beta
+		t.Set(0, 0, tau)
+		return
+	}
+	n1 := n / 2
+	n2 := n - n1
+	// Factor the left half recursively.
+	a1 := a.View(0, 0, m, n1)
+	t1 := t.View(0, 0, n1, n1)
+	dgeqr3(a1, t1)
+	// Apply Q1ᵀ to the right half.
+	a2 := a.View(0, n1, m, n2)
+	Dlarfb(blas.Trans, a1, t1, a2)
+	// Factor the bottom of the right half recursively.
+	a22 := a.View(n1, n1, m-n1, n2)
+	t2 := t.View(n1, n1, n2, n2)
+	dgeqr3(a22, t2)
+	// Couple the halves: T12 = −T1 · (V1ᵀ·V2) · T2.
+	t12 := t.View(0, n1, n1, n2)
+	v1bot := a.View(n1, 0, m-n1, n1) // rows of V1 that overlap V2
+	// X = V1botᵀ·V2, exploiting V2's unit lower trapezoidal structure:
+	// V2 = [V2unit (n2×n2); V2rect].
+	x := t12 // accumulate in place
+	// X = (V2unitᵀ · V1bot[0:n2, :])ᵀ = V1bot[0:n2,:]ᵀ · V2unit
+	head := v1bot.View(0, 0, n2, n1).Clone() // n2×n1
+	u := lowerAsUpperT(a.View(n1, n1, n2, n2))
+	// V2unitᵀ·head = Dtrmm(NoTrans... V2unit = Uᵀ → V2unitᵀ = U.
+	blas.Dtrmm(blas.Left, blas.NoTrans, true, 1, u, head)
+	for c := 0; c < n2; c++ {
+		for r := 0; r < n1; r++ {
+			x.Set(r, c, head.At(c, r))
+		}
+	}
+	if m-n1 > n2 {
+		blas.Dgemm(blas.Trans, blas.NoTrans, 1,
+			v1bot.View(n2, 0, m-n1-n2, n1), a.View(n1+n2, n1, m-n1-n2, n2), 1, x)
+	}
+	// X ← −T1·X·T2.
+	blas.Dtrmm(blas.Left, blas.NoTrans, false, -1, t1, x)
+	blas.Dtrmm(blas.Right, blas.NoTrans, false, 1, t2, x)
+}
+
+// TausOf extracts the Householder taus from a Dgeqr3 T factor (its
+// diagonal), for use with the tau-based appliers.
+func TausOf(t *matrix.Dense) []float64 {
+	taus := make([]float64, t.Rows)
+	for i := range taus {
+		taus[i] = t.At(i, i)
+	}
+	return taus
+}

@@ -1,0 +1,110 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+func TestDgeqr3MatchesDgeqrf(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{
+		{1, 1}, {5, 1}, {4, 2}, {8, 3}, {33, 7}, {100, 16}, {200, 33}, {64, 64},
+	} {
+		a := matrix.Random(tc.m, tc.n, int64(tc.m+tc.n))
+		f3 := a.Clone()
+		Dgeqr3(f3)
+		f2 := a.Clone()
+		tau := make([]float64, tc.n)
+		Dgeqr2(f2, tau)
+		r3 := TriuCopy(f3)
+		r2 := TriuCopy(f2)
+		NormalizeRSigns(r3, nil)
+		NormalizeRSigns(r2, nil)
+		if !matrix.Equal(r3, r2, 1e-11*float64(tc.m)) {
+			t.Fatalf("%dx%d: recursive R differs from unblocked R", tc.m, tc.n)
+		}
+	}
+}
+
+func TestDgeqr3TFactorAppliesQ(t *testing.T) {
+	// I − V·T·Vᵀ applied via Dlarfb must reproduce A from [R; 0].
+	m, n := 40, 8
+	a := matrix.Random(m, n, 3)
+	f := a.Clone()
+	tm := Dgeqr3(f)
+	c := matrix.New(m, n)
+	Dlacpy(CopyUpper, TriuCopy(f).View(0, 0, n, n), c.View(0, 0, n, n))
+	Dlarfb(blas.NoTrans, f, tm, c)
+	if !matrix.Equal(c, a, 1e-12*float64(m)) {
+		t.Fatal("Q·[R;0] != A for recursive factorization")
+	}
+}
+
+func TestDgeqr3TausMatchDormqr(t *testing.T) {
+	// The T diagonal works as taus for the tau-based appliers.
+	m, n := 30, 6
+	a := matrix.Random(m, n, 5)
+	f := a.Clone()
+	tm := Dgeqr3(f)
+	taus := TausOf(tm)
+	q := Dorgqr(f, taus, n)
+	if e := matrix.OrthoError(q); e > 1e-12*float64(m) {
+		t.Fatalf("orthogonality via taus: %g", e)
+	}
+	r := TriuCopy(f).View(0, 0, n, n).Clone()
+	if res := matrix.ResidualQR(a, q, r); res > 1e-12*float64(m) {
+		t.Fatalf("residual via taus: %g", res)
+	}
+}
+
+func TestDgeqr3TIsUpperTriangular(t *testing.T) {
+	f := matrix.Random(20, 7, 7)
+	tm := Dgeqr3(f)
+	if !matrix.IsUpperTriangular(tm, 0) {
+		t.Fatal("T not upper triangular")
+	}
+	// T's diagonal entries are valid taus: in [0, 2] for real reflectors.
+	for i := 0; i < 7; i++ {
+		tau := tm.At(i, i)
+		if tau < 0 || tau > 2 {
+			t.Fatalf("tau[%d] = %g outside [0,2]", i, tau)
+		}
+	}
+}
+
+func TestDgeqr3PanicsOnWide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dgeqr3(matrix.Random(3, 5, 1))
+}
+
+func TestDgeqr3IllConditioned(t *testing.T) {
+	a := matrix.WithCondition(80, 10, 1e12, 9)
+	f := a.Clone()
+	tm := Dgeqr3(f)
+	q := Dorgqr(f, TausOf(tm), 10)
+	if e := matrix.OrthoError(q); e > 1e-11 {
+		t.Fatalf("recursive QR unstable: %g", e)
+	}
+}
+
+func TestDgeqr3AgainstExplicitT(t *testing.T) {
+	// T must equal the Dlarft-built factor of the same reflectors.
+	m, n := 25, 6
+	f := matrix.Random(m, n, 11)
+	tm := Dgeqr3(f)
+	want := matrix.New(n, n)
+	Dlarft(f, TausOf(tm), want)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			if math.Abs(tm.At(i, j)-want.At(i, j)) > 1e-12 {
+				t.Fatalf("T mismatch at (%d,%d): %g vs %g", i, j, tm.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package lapack
+
+import (
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// DefaultBlock is the panel width used by Dgeqrf when the caller passes
+// nb <= 0. It matches the NB=64 default the paper quotes for ScaLAPACK's
+// PDGEQRF.
+const DefaultBlock = 64
+
+// Dgeqr2 computes the unblocked Householder QR factorization of a. On
+// return the upper triangle of a holds R, the strictly lower part holds
+// the reflector tails V, and tau[j] the scaling factor of reflector j.
+// tau must have length min(m, n).
+func Dgeqr2(a *matrix.Dense, tau []float64) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) < k {
+		panic("lapack: Dgeqr2 tau too short")
+	}
+	work := make([]float64, n)
+	for j := 0; j < k; j++ {
+		col := a.Col(j)
+		beta, t := Dlarfg(col[j], col[j+1:])
+		tau[j] = t
+		col[j] = beta
+		if j < n-1 && t != 0 {
+			Dlarf(t, col[j+1:], a.View(j, j+1, m-j, n-j-1), work)
+		}
+	}
+}
+
+// Dlarft forms the upper triangular factor T of the block reflector
+// H = I − V·T·Vᵀ from the k reflectors stored columnwise in v (forward
+// direction). v is m×k with implicit unit diagonal; t is k×k and is
+// overwritten.
+func Dlarft(v *matrix.Dense, tau []float64, t *matrix.Dense) {
+	k := v.Cols
+	if t.Rows != k || t.Cols != k || len(tau) < k {
+		panic("lapack: Dlarft shape mismatch")
+	}
+	m := v.Rows
+	for i := 0; i < k; i++ {
+		if tau[i] == 0 {
+			for j := 0; j <= i; j++ {
+				t.Set(j, i, 0)
+			}
+			continue
+		}
+		// t[0:i, i] = -tau[i] * V[:, 0:i]ᵀ · v_i, exploiting that v_i is
+		// zero above row i and has a unit entry at row i.
+		for j := 0; j < i; j++ {
+			vj := v.Col(j)
+			vi := v.Col(i)
+			s := vj[i] // unit element of v_i times V[i, j]
+			for l := i + 1; l < m; l++ {
+				s += vj[l] * vi[l]
+			}
+			t.Set(j, i, -tau[i]*s)
+		}
+		// t[0:i, i] = T[0:i, 0:i] · t[0:i, i]
+		if i > 0 {
+			colTop := t.Col(i)[:i]
+			blas.Dtrmv(blas.NoTrans, t.View(0, 0, i, i), colTop)
+		}
+		t.Set(i, i, tau[i])
+	}
+}
+
+// Dlarfb applies the block reflector H = I − V·T·Vᵀ (or its transpose)
+// from the left to C: C = op(H)·C. v is m×k stored columnwise with
+// implicit unit diagonal, t is the k×k factor from Dlarft.
+func Dlarfb(trans blas.Transpose, v, t, c *matrix.Dense) {
+	m, k := v.Rows, v.Cols
+	if c.Rows != m {
+		panic("lapack: Dlarfb shape mismatch")
+	}
+	n := c.Cols
+	if n == 0 || k == 0 {
+		return
+	}
+	// W = Vᵀ·C  (k×n), exploiting the unit lower-trapezoidal structure:
+	// V = [V1; V2] with V1 unit lower triangular k×k, V2 rectangular.
+	w := matrix.New(k, n)
+	u := lowerAsUpperT(v.View(0, 0, k, k)) // U = V1ᵀ, upper triangular unit diag
+	// W = V1ᵀ·C1 = U·C1
+	matrix.Copy(w, c.View(0, 0, k, n))
+	blas.Dtrmm(blas.Left, blas.NoTrans, true, 1, u, w)
+	// W += V2ᵀ·C2
+	if m > k {
+		blas.Dgemm(blas.Trans, blas.NoTrans, 1, v.View(k, 0, m-k, k), c.View(k, 0, m-k, n), 1, w)
+	}
+	// W = op(T)·W
+	applyT(trans, t, w)
+	// C -= V·W
+	if m > k {
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n))
+	}
+	// C1 -= V1·W = Uᵀ·W
+	v1w := w.Clone()
+	blas.Dtrmm(blas.Left, blas.Trans, true, 1, u, v1w)
+	for j := 0; j < n; j++ {
+		blas.Daxpy(-1, v1w.Col(j), c.Col(j)[:k])
+	}
+}
+
+// lowerAsUpperT returns U = V1ᵀ where V1 is the unit lower triangular k×k
+// head of the reflector block: Dtrmm only handles upper triangular
+// operands, so applying V1 becomes Dtrmm with U transposed and applying
+// V1ᵀ becomes Dtrmm with U untransposed.
+func lowerAsUpperT(v1 *matrix.Dense) *matrix.Dense {
+	k := v1.Rows
+	u := matrix.New(k, k)
+	for j := 0; j < k; j++ {
+		u.Set(j, j, 1)
+		for i := j + 1; i < k; i++ {
+			u.Set(j, i, v1.At(i, j)) // U[j,i] = V1[i,j]
+		}
+	}
+	return u
+}
+
+func applyT(trans blas.Transpose, t, w *matrix.Dense) {
+	blas.Dtrmm(blas.Left, trans, false, 1, t, w)
+}
+
+// Dgeqrf computes the blocked Householder QR factorization of a with
+// panel width nb (DefaultBlock when nb <= 0). Storage conventions match
+// Dgeqr2.
+func Dgeqrf(a *matrix.Dense, tau []float64, nb int) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if len(tau) < k {
+		panic("lapack: Dgeqrf tau too short")
+	}
+	if nb <= 0 {
+		nb = DefaultBlock
+	}
+	if nb >= k {
+		Dgeqr2(a, tau)
+		return
+	}
+	t := matrix.New(nb, nb)
+	for j := 0; j < k; j += nb {
+		jb := min(nb, k-j)
+		panel := a.View(j, j, m-j, jb)
+		Dgeqr2(panel, tau[j:j+jb])
+		if j+jb < n {
+			tb := t.View(0, 0, jb, jb)
+			Dlarft(panel, tau[j:j+jb], tb)
+			Dlarfb(blas.Trans, panel, tb, a.View(j, j+jb, m-j, n-j-jb))
+		}
+	}
+}
+
+// TriuCopy returns the leading n×n upper triangle of a factored matrix as
+// a fresh compact matrix (the R factor after Dgeqr2/Dgeqrf). For m < n the
+// full upper-trapezoidal m×n R is returned.
+func TriuCopy(a *matrix.Dense) *matrix.Dense {
+	k := min(a.Rows, a.Cols)
+	r := matrix.New(k, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i <= min(j, k-1); i++ {
+			r.Set(i, j, a.At(i, j))
+		}
+	}
+	return r
+}

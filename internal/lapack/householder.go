@@ -1,0 +1,88 @@
+// Package lapack implements the dense factorization kernels from LAPACK
+// that the paper's software stack relies on: unblocked and blocked
+// Householder QR (DGEQR2/DGEQRF), block-reflector machinery
+// (DLARFT/DLARFB), explicit-Q formation and application
+// (DORGQR/DORMQR), and the structured QR of two stacked upper-triangular
+// matrices (DTPQRT2 style) that is the reduction operation of TSQR.
+//
+// All routines operate in place on column-major matrices
+// (internal/matrix.Dense) and follow LAPACK's conventions: reflectors are
+// stored below the diagonal of the factored matrix with an implicit unit
+// leading entry, and scaling factors in a separate tau vector.
+package lapack
+
+import (
+	"math"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// Dlarfg generates an elementary Householder reflector H such that
+// H·[alpha; x] = [beta; 0] with H = I − tau·v·vᵀ and v = [1; x_out].
+// On return x holds the tail of v and beta replaces alpha. tau is 0 when
+// x is already zero (H = I).
+func Dlarfg(alpha float64, x []float64) (beta, tau float64) {
+	xnorm := blas.Dnrm2(x)
+	if xnorm == 0 {
+		return alpha, 0
+	}
+	beta = -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	// Guard against underflow in beta the way LAPACK does: rescale if
+	// beta is tiny.
+	const safmin = 2.0041683600089728e-292 // dlamch('S')/dlamch('E')
+	scale := 0
+	for math.Abs(beta) < safmin && scale < 20 {
+		blas.Dscal(1/safmin, x)
+		beta /= safmin
+		alpha /= safmin
+		scale++
+	}
+	if scale > 0 {
+		xnorm = blas.Dnrm2(x)
+		beta = -math.Copysign(math.Hypot(alpha, xnorm), alpha)
+	}
+	tau = (beta - alpha) / beta
+	blas.Dscal(1/(alpha-beta), x)
+	for ; scale > 0; scale-- {
+		beta *= safmin
+	}
+	return beta, tau
+}
+
+// Dlarf applies the reflector H = I − tau·v·vᵀ from the left to C:
+// C = H·C. v has an implicit leading 1; vtail holds its remaining
+// entries, which must match C's row count minus one.
+func Dlarf(tau float64, vtail []float64, c *matrix.Dense, work []float64) {
+	if tau == 0 {
+		return
+	}
+	if len(vtail) != c.Rows-1 {
+		panic("lapack: Dlarf length mismatch")
+	}
+	if len(work) < c.Cols {
+		panic("lapack: Dlarf work too small")
+	}
+	w := work[:c.Cols]
+	// w = Cᵀ·v
+	for j := 0; j < c.Cols; j++ {
+		col := c.Col(j)
+		s := col[0]
+		for i, vi := range vtail {
+			s += vi * col[i+1]
+		}
+		w[j] = s
+	}
+	// C -= tau·v·wᵀ
+	for j := 0; j < c.Cols; j++ {
+		f := tau * w[j]
+		if f == 0 {
+			continue
+		}
+		col := c.Col(j)
+		col[0] -= f
+		for i, vi := range vtail {
+			col[i+1] -= f * vi
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package lapack
+
+import (
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// Dorm2r applies op(Q) from the left to C, where Q is the orthogonal
+// factor implicitly stored in a (reflectors below the diagonal) and tau
+// after Dgeqr2/Dgeqrf: C = op(Q)·C. Unblocked.
+//
+// With Q = H_0·H_1···H_{k−1}: applying Q uses reflectors in reverse
+// order, applying Qᵀ uses them forward.
+func Dorm2r(trans blas.Transpose, a *matrix.Dense, tau []float64, c *matrix.Dense) {
+	m := a.Rows
+	k := min(m, a.Cols)
+	if c.Rows != m {
+		panic("lapack: Dorm2r shape mismatch")
+	}
+	if len(tau) < k {
+		panic("lapack: Dorm2r tau too short")
+	}
+	work := make([]float64, c.Cols)
+	apply := func(j int) {
+		if tau[j] == 0 {
+			return
+		}
+		Dlarf(tau[j], a.Col(j)[j+1:], c.View(j, 0, m-j, c.Cols), work)
+	}
+	if trans == blas.Trans {
+		for j := 0; j < k; j++ {
+			apply(j)
+		}
+	} else {
+		for j := k - 1; j >= 0; j-- {
+			apply(j)
+		}
+	}
+}
+
+// Dormqr is the blocked version of Dorm2r: it applies op(Q) from the left
+// to C using block reflectors of width nb (DefaultBlock when nb <= 0).
+func Dormqr(trans blas.Transpose, a *matrix.Dense, tau []float64, c *matrix.Dense, nb int) {
+	m := a.Rows
+	k := min(m, a.Cols)
+	if c.Rows != m {
+		panic("lapack: Dormqr shape mismatch")
+	}
+	if nb <= 0 {
+		nb = DefaultBlock
+	}
+	if nb >= k {
+		Dorm2r(trans, a, tau, c)
+		return
+	}
+	t := matrix.New(nb, nb)
+	blocks := make([]int, 0, k/nb+1)
+	for j := 0; j < k; j += nb {
+		blocks = append(blocks, j)
+	}
+	if trans == blas.NoTrans {
+		// Reverse block order for Q.
+		for bi := len(blocks) - 1; bi >= 0; bi-- {
+			j := blocks[bi]
+			jb := min(nb, k-j)
+			v := a.View(j, j, m-j, jb)
+			tb := t.View(0, 0, jb, jb)
+			Dlarft(v, tau[j:j+jb], tb)
+			Dlarfb(blas.NoTrans, v, tb, c.View(j, 0, m-j, c.Cols))
+		}
+		return
+	}
+	for _, j := range blocks {
+		jb := min(nb, k-j)
+		v := a.View(j, j, m-j, jb)
+		tb := t.View(0, 0, jb, jb)
+		Dlarft(v, tau[j:j+jb], tb)
+		Dlarfb(blas.Trans, v, tb, c.View(j, 0, m-j, c.Cols))
+	}
+}
+
+// Dorgqr forms the explicit thin m×n Q factor from the first n reflectors
+// stored in a after Dgeqr2/Dgeqrf. It returns a fresh matrix; a is not
+// modified.
+func Dorgqr(a *matrix.Dense, tau []float64, n int) *matrix.Dense {
+	m := a.Rows
+	k := min(m, a.Cols)
+	if n > m || n < k {
+		panic("lapack: Dorgqr invalid column count")
+	}
+	q := matrix.New(m, n)
+	for i := 0; i < n; i++ {
+		q.Set(i, i, 1)
+	}
+	Dormqr(blas.NoTrans, a, tau[:k], q, 0)
+	return q
+}

@@ -1,0 +1,131 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+func TestSingularValuesDiagonal(t *testing.T) {
+	a := matrix.New(4, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	sv, ok := SingularValues(a)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(sv[i]-want[i]) > 1e-13 {
+			t.Fatalf("sv = %v want %v", sv, want)
+		}
+	}
+}
+
+func TestSingularValuesOrthogonalInvariance(t *testing.T) {
+	// SVs of Q·D must be exactly D's entries.
+	q := matrix.RandomOrthoCols(30, 4, 1)
+	d := []float64{5, 1, 0.25, 1e-6}
+	a := matrix.New(30, 4)
+	for j := 0; j < 4; j++ {
+		col := q.Col(j)
+		out := a.Col(j)
+		for i := range col {
+			out[i] = d[j] * col[i]
+		}
+	}
+	sv, ok := SingularValues(a)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	for i := range d {
+		if math.Abs(sv[i]-d[i]) > 1e-12*d[0] {
+			t.Fatalf("sv = %v want %v", sv, d)
+		}
+	}
+}
+
+func TestSingularValuesFrobeniusIdentity(t *testing.T) {
+	a := matrix.Random(20, 6, 2)
+	sv, ok := SingularValues(a)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	var ssq float64
+	for _, s := range sv {
+		ssq += s * s
+	}
+	nf := matrix.NormFrob(a)
+	if math.Abs(math.Sqrt(ssq)-nf) > 1e-12*nf {
+		t.Fatalf("Σσ² = %g vs ‖A‖²_F = %g", ssq, nf*nf)
+	}
+}
+
+func TestCond2ValidatesGenerator(t *testing.T) {
+	// matrix.WithCondition's promised condition number, verified by SVD.
+	for _, cond := range []float64{1e3, 1e8} {
+		a := matrix.WithCondition(60, 5, cond, 3)
+		got := Cond2(a)
+		if math.Abs(got-cond)/cond > 1e-6 {
+			t.Fatalf("Cond2 = %g want %g", got, cond)
+		}
+	}
+}
+
+func TestCond2RankDeficient(t *testing.T) {
+	a := matrix.New(5, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 0) // second column zero
+	if !math.IsInf(Cond2(a), 1) {
+		t.Fatal("rank-deficient matrix must report infinite condition")
+	}
+}
+
+func TestSingularValuesMatchRFactor(t *testing.T) {
+	// SVs of A equal SVs of its R factor (orthogonal invariance of QR).
+	a := matrix.Random(80, 5, 4)
+	f := a.Clone()
+	tau := make([]float64, 5)
+	Dgeqrf(f, tau, 0)
+	r := TriuCopy(f).View(0, 0, 5, 5).Clone()
+	svA, _ := SingularValues(a)
+	svR, _ := SingularValues(r)
+	for i := range svA {
+		if math.Abs(svA[i]-svR[i]) > 1e-11*svA[0] {
+			t.Fatalf("σ(A) = %v vs σ(R) = %v", svA, svR)
+		}
+	}
+}
+
+func TestCondEst1TracksTrueCondition(t *testing.T) {
+	// The 1-norm estimate must land within a factor ~n of the 2-norm
+	// condition number across a wide conditioning range.
+	for _, cond := range []float64{1, 1e4, 1e10} {
+		a := matrix.WithCondition(60, 6, cond, 9)
+		f := a.Clone()
+		tau := make([]float64, 6)
+		Dgeqrf(f, tau, 0)
+		r := TriuCopy(f).View(0, 0, 6, 6).Clone()
+		est := CondEst1(r)
+		truth := Cond2(a)
+		if est < truth/20 || est > truth*20 {
+			t.Fatalf("cond=%g: estimate %g vs true %g", cond, est, truth)
+		}
+	}
+}
+
+func TestCondEst1Singular(t *testing.T) {
+	r := matrix.Eye(3)
+	r.Set(1, 1, 0)
+	if !math.IsInf(CondEst1(r), 1) {
+		t.Fatal("singular triangle must estimate +Inf")
+	}
+}
+
+func TestCondEst1Identity(t *testing.T) {
+	if got := CondEst1(matrix.Eye(8)); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cond(I) estimate = %g", got)
+	}
+}

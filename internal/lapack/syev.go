@@ -1,0 +1,130 @@
+package lapack
+
+import (
+	"math"
+
+	"gridqr/internal/matrix"
+)
+
+// Dsyev computes all eigenvalues and eigenvectors of a symmetric matrix
+// with the cyclic Jacobi method: numerically very robust for the small
+// Rayleigh-Ritz problems of the block eigensolvers the paper motivates
+// (§II-E), where the matrix is N×N with N a block width.
+//
+// On return w holds the eigenvalues in ascending order and the returned
+// matrix's columns the corresponding orthonormal eigenvectors. a is not
+// modified. It panics if a is not square and returns false if the sweep
+// limit is reached before convergence (off-diagonal Frobenius norm below
+// ~n·ε times the matrix norm).
+func Dsyev(a *matrix.Dense, w []float64) (*matrix.Dense, bool) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("lapack: Dsyev needs a square matrix")
+	}
+	if len(w) < n {
+		panic("lapack: Dsyev eigenvalue slice too short")
+	}
+	s := a.Clone() // working copy, symmetrized
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := 0.5 * (s.At(i, j) + s.At(j, i))
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	v := matrix.Eye(n)
+	norm := matrix.NormFrob(s)
+	if norm == 0 {
+		for i := 0; i < n; i++ {
+			w[i] = 0
+		}
+		return v, true
+	}
+	tol := 1e-15 * norm
+	const maxSweeps = 64
+	converged := false
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(s)
+		if off <= tol {
+			converged = true
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if math.Abs(apq) <= tol/float64(n) {
+					continue
+				}
+				jacobiRotate(s, v, p, q)
+			}
+		}
+	}
+	if !converged && offDiagNorm(s) > tol {
+		return v, false
+	}
+	// Extract and sort ascending, permuting eigenvectors along.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		w[i] = s.At(i, i)
+	}
+	// Insertion sort (n is small).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && w[k] < w[k-1]; k-- {
+			w[k], w[k-1] = w[k-1], w[k]
+			idx[k], idx[k-1] = idx[k-1], idx[k]
+		}
+	}
+	out := matrix.New(n, n)
+	for c, src := range idx {
+		copy(out.Col(c), v.Col(src))
+	}
+	return out, true
+}
+
+// jacobiRotate annihilates s[p][q] with a Givens-like Jacobi rotation and
+// accumulates it into v.
+func jacobiRotate(s, v *matrix.Dense, p, q int) {
+	apq := s.At(p, q)
+	theta := (s.At(q, q) - s.At(p, p)) / (2 * apq)
+	var t float64
+	if theta >= 0 {
+		t = 1 / (theta + math.Sqrt(1+theta*theta))
+	} else {
+		t = -1 / (-theta + math.Sqrt(1+theta*theta))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	sn := t * c
+	n := s.Rows
+	for k := 0; k < n; k++ {
+		skp, skq := s.At(k, p), s.At(k, q)
+		s.Set(k, p, c*skp-sn*skq)
+		s.Set(k, q, sn*skp+c*skq)
+	}
+	for k := 0; k < n; k++ {
+		spk, sqk := s.At(p, k), s.At(q, k)
+		s.Set(p, k, c*spk-sn*sqk)
+		s.Set(q, k, sn*spk+c*sqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-sn*vkq)
+		v.Set(k, q, sn*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(s *matrix.Dense) float64 {
+	var ssq float64
+	n := s.Rows
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i != j {
+				v := s.At(i, j)
+				ssq += v * v
+			}
+		}
+	}
+	return math.Sqrt(ssq)
+}

@@ -1,0 +1,162 @@
+package lapack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// randSym returns a random symmetric n×n matrix.
+func randSym(n int, seed int64) *matrix.Dense {
+	a := matrix.Random(n, n, seed)
+	for j := 0; j < n; j++ {
+		for i := 0; i < j; i++ {
+			v := 0.5 * (a.At(i, j) + a.At(j, i))
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func checkEig(t *testing.T, a *matrix.Dense, w []float64, v *matrix.Dense) {
+	t.Helper()
+	n := a.Rows
+	// A·v_k = w_k·v_k for every pair.
+	for k := 0; k < n; k++ {
+		av := make([]float64, n)
+		blas.Dgemv(blas.NoTrans, 1, a, v.Col(k), 0, av)
+		for i := 0; i < n; i++ {
+			if math.Abs(av[i]-w[k]*v.At(i, k)) > 1e-11*(1+math.Abs(w[k])) {
+				t.Fatalf("eigenpair %d violated at row %d: %g vs %g", k, i, av[i], w[k]*v.At(i, k))
+			}
+		}
+	}
+	if e := matrix.OrthoError(v); e > 1e-12 {
+		t.Fatalf("eigenvectors not orthonormal: %g", e)
+	}
+	for k := 1; k < n; k++ {
+		if w[k] < w[k-1] {
+			t.Fatalf("eigenvalues not ascending: %v", w[:n])
+		}
+	}
+}
+
+func TestDsyevDiagonal(t *testing.T) {
+	a := matrix.New(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	w := make([]float64, 3)
+	v, ok := Dsyev(a, w)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	if w[0] != 1 || w[1] != 2 || w[2] != 3 {
+		t.Fatalf("eigenvalues %v", w)
+	}
+	checkEig(t, a, w, v)
+}
+
+func TestDsyevKnown2x2(t *testing.T) {
+	a := matrix.FromRows([][]float64{{2, 1}, {1, 2}})
+	w := make([]float64, 2)
+	v, ok := Dsyev(a, w)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	if math.Abs(w[0]-1) > 1e-14 || math.Abs(w[1]-3) > 1e-14 {
+		t.Fatalf("eigenvalues %v want [1 3]", w)
+	}
+	checkEig(t, a, w, v)
+}
+
+func TestDsyevRandom(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		a := randSym(n, int64(n))
+		w := make([]float64, n)
+		v, ok := Dsyev(a, w)
+		if !ok {
+			t.Fatalf("n=%d: no convergence", n)
+		}
+		checkEig(t, a, w, v)
+	}
+}
+
+func TestDsyevZero(t *testing.T) {
+	a := matrix.New(4, 4)
+	w := make([]float64, 4)
+	v, ok := Dsyev(a, w)
+	if !ok {
+		t.Fatal("no convergence on zero matrix")
+	}
+	for _, x := range w {
+		if x != 0 {
+			t.Fatalf("eigenvalues %v", w)
+		}
+	}
+	if e := matrix.OrthoError(v); e > 1e-15 {
+		t.Fatal("vectors not orthonormal")
+	}
+}
+
+func TestDsyevDoesNotModifyInput(t *testing.T) {
+	a := randSym(6, 9)
+	c := a.Clone()
+	w := make([]float64, 6)
+	Dsyev(a, w)
+	if !matrix.Equal(a, c, 0) {
+		t.Fatal("input modified")
+	}
+}
+
+func TestDsyevTraceInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 7
+		a := randSym(n, seed)
+		var trace float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		w := make([]float64, n)
+		if _, ok := Dsyev(a, w); !ok {
+			return false
+		}
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		return math.Abs(trace-sum) < 1e-11*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDsyevClusteredEigenvalues(t *testing.T) {
+	// Nearly-degenerate spectrum: V·diag(1, 1+1e-12, 5)·Vᵀ.
+	q := matrix.RandomOrthoCols(3, 3, 11)
+	d := []float64{1, 1 + 1e-12, 5}
+	a := matrix.New(3, 3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			var s float64
+			for k := 0; k < 3; k++ {
+				s += q.At(i, k) * d[k] * q.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	w := make([]float64, 3)
+	v, ok := Dsyev(a, w)
+	if !ok {
+		t.Fatal("no convergence")
+	}
+	checkEig(t, a, w, v)
+	if math.Abs(w[2]-5) > 1e-12 {
+		t.Fatalf("isolated eigenvalue %g want 5", w[2])
+	}
+}

@@ -1,0 +1,111 @@
+package lapack
+
+import (
+	"gridqr/internal/blas"
+	"gridqr/internal/matrix"
+)
+
+// Dtpqrt is the blocked variant of Dtpqrt2 (LAPACK's DTPQRT): the stacked
+// upper triangular pair [r1; r2] is factored in panels of nb columns, and
+// trailing columns are updated with block reflectors so most of the work
+// becomes matrix-matrix products. Outputs are bit-compatible in layout
+// with Dtpqrt2 (r1 ← R, r2 ← V upper triangular, tau per column), so the
+// column-wise ApplyStackQ works unchanged on the result.
+func Dtpqrt(r1, r2 *matrix.Dense, tau []float64, nb int) {
+	n := r1.Rows
+	if r1.Cols != n || r2.Rows != n || r2.Cols != n {
+		panic("lapack: Dtpqrt operands must be square and equal size")
+	}
+	if len(tau) < n {
+		panic("lapack: Dtpqrt tau too short")
+	}
+	if nb <= 0 {
+		nb = 32
+	}
+	for j := 0; j < n; j += nb {
+		jb := min(nb, n-j)
+		// Factor the panel with the unblocked kernel, restricted to its
+		// own columns: columns j..j+jb of [r1; r2], where the V entries
+		// live in r2 rows 0..j+jb.
+		tpqrt2Panel(r1, r2, tau, j, jb)
+		rest := n - j - jb
+		if rest == 0 {
+			continue
+		}
+		// Block-reflector update of the trailing columns. The panel's
+		// reflector c has an implicit unit at r1 row j+c and its stored
+		// part in r2 rows 0..j+c (column j+c): a (j+jb)×jb trapezoid.
+		vp := r2.View(0, j, j+jb, jb)
+		t := tpqrtT(vp, tau[j:j+jb])
+		// W = C1[j:j+jb, rest] + Vpᵀ·C2[0:j+jb, rest]
+		c1 := r1.View(j, j+jb, jb, rest)
+		c2 := r2.View(0, j+jb, j+jb, rest)
+		w := c1.Clone()
+		blas.Dgemm(blas.Trans, blas.NoTrans, 1, vp, c2, 1, w)
+		// W ← Tᵀ·W
+		blas.Dtrmm(blas.Left, blas.Trans, false, 1, t, w)
+		// C1 −= W ; C2 −= Vp·W
+		for c := 0; c < rest; c++ {
+			blas.Daxpy(-1, w.Col(c), c1.Col(c))
+		}
+		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, vp, w, 1, c2)
+	}
+}
+
+// tpqrt2Panel runs the unblocked stacked elimination on columns
+// [j, j+jb), touching only those columns.
+func tpqrt2Panel(r1, r2 *matrix.Dense, tau []float64, j, jb int) {
+	for c := 0; c < jb; c++ {
+		col := j + c
+		bj := r2.Col(col)[:col+1]
+		beta, t := Dlarfg(r1.At(col, col), bj)
+		tau[col] = t
+		r1.Set(col, col, beta)
+		if t == 0 {
+			continue
+		}
+		for k := col + 1; k < j+jb; k++ {
+			ck := r2.Col(k)
+			w := r1.At(col, k)
+			for i := 0; i <= col; i++ {
+				w += bj[i] * ck[i]
+			}
+			f := t * w
+			r1.Set(col, k, r1.At(col, k)-f)
+			for i := 0; i <= col; i++ {
+				ck[i] -= f * bj[i]
+			}
+		}
+	}
+}
+
+// tpqrtT builds the jb×jb T factor of a stacked panel from its stored V
+// trapezoid and taus: because the unit parts of distinct reflectors live
+// in distinct rows, only the V block contributes to the cross products.
+func tpqrtT(vp *matrix.Dense, tau []float64) *matrix.Dense {
+	jb := vp.Cols
+	t := matrix.New(jb, jb)
+	for i := 0; i < jb; i++ {
+		t.Set(i, i, tau[i])
+		if i == 0 || tau[i] == 0 {
+			continue
+		}
+		// col = −tau_i · Vp[:, 0:i]ᵀ · v_i, with v_i's stored rows only.
+		rows := vp.Rows - vp.Cols + i + 1 // v_i nonzero rows: 0..(j+i)
+		col := make([]float64, i)
+		vi := vp.Col(i)[:rows]
+		for c := 0; c < i; c++ {
+			vc := vp.Col(c)[:rows]
+			var s float64
+			for r := 0; r < rows; r++ {
+				s += vc[r] * vi[r]
+			}
+			col[c] = -tau[i] * s
+		}
+		blas.Dtrmv(blas.NoTrans, t.View(0, 0, i, i), col)
+		for c := 0; c < i; c++ {
+			t.Set(c, i, col[c])
+		}
+	}
+	return t
+}

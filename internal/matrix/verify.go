@@ -1,0 +1,70 @@
+package matrix
+
+// This file holds the numerical acceptance checks used across the test
+// suite and the examples: backward error of a factorization and loss of
+// orthogonality of a computed Q-factor.
+
+// ResidualQR returns ‖A − Q·R‖_F / ‖A‖_F, the relative backward error of a
+// QR factorization. Q is m×n, R is n×n upper triangular (entries below the
+// diagonal are ignored).
+func ResidualQR(a, q, r *Dense) float64 {
+	if q.Rows != a.Rows || q.Cols != r.Rows || r.Cols != a.Cols {
+		panic("matrix: ResidualQR shape mismatch")
+	}
+	diff := a.Clone()
+	// diff -= Q*R, exploiting that R is upper triangular.
+	for j := 0; j < r.Cols; j++ {
+		dj := diff.Col(j)
+		for k := 0; k <= min(j, r.Rows-1); k++ {
+			f := r.At(k, j)
+			if f == 0 {
+				continue
+			}
+			qk := q.Col(k)
+			for i := range dj {
+				dj[i] -= f * qk[i]
+			}
+		}
+	}
+	na := NormFrob(a)
+	if na == 0 {
+		return NormFrob(diff)
+	}
+	return NormFrob(diff) / na
+}
+
+// OrthoError returns ‖I − QᵀQ‖_F, the loss of orthogonality of Q's columns.
+func OrthoError(q *Dense) float64 {
+	n := q.Cols
+	g := New(n, n)
+	for j := 0; j < n; j++ {
+		cj := q.Col(j)
+		for k := 0; k <= j; k++ {
+			ck := q.Col(k)
+			var d float64
+			for i := range cj {
+				d += ck[i] * cj[i]
+			}
+			g.Set(k, j, d)
+			g.Set(j, k, d)
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)-1)
+	}
+	return NormFrob(g)
+}
+
+// IsUpperTriangular reports whether every element of a strictly below the
+// main diagonal has absolute value at most tol.
+func IsUpperTriangular(a *Dense, tol float64) bool {
+	for j := 0; j < a.Cols; j++ {
+		for i := j + 1; i < a.Rows; i++ {
+			v := a.At(i, j)
+			if v > tol || v < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,187 @@
+// Package mmio reads and writes dense real matrices in the Matrix Market
+// exchange format (the `%%MatrixMarket matrix array real general` and
+// `coordinate real general` variants), so the command-line tools can
+// factor matrices produced by other numerical software.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gridqr/internal/matrix"
+)
+
+// Read parses a Matrix Market stream into a dense matrix. Supported
+// headers: `matrix array real general` (column-major dense) and
+// `matrix coordinate real general` (sparse triplets, densified).
+// Integer and pattern fields are promoted to real; symmetric storage is
+// mirrored.
+func Read(r io.Reader) (*matrix.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
+		return nil, fmt.Errorf("mmio: not a MatrixMarket matrix header: %q", sc.Text())
+	}
+	layout := header[2] // array | coordinate
+	field := header[3]  // real | integer | pattern
+	symmetry := "general"
+	if len(header) >= 5 {
+		symmetry = header[4]
+	}
+	switch layout {
+	case "array", "coordinate":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported layout %q", layout)
+	}
+	switch field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", field)
+	}
+	switch symmetry {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
+	}
+
+	// Skip comments, find the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+
+	if layout == "array" {
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("mmio: array size line needs 2 fields, got %q", sizeLine)
+		}
+		m, err1 := strconv.Atoi(dims[0])
+		n, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || m < 0 || n < 0 {
+			return nil, fmt.Errorf("mmio: bad dimensions %q", sizeLine)
+		}
+		return readArray(sc, m, n, symmetry)
+	}
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("mmio: coordinate size line needs 3 fields, got %q", sizeLine)
+	}
+	m, err1 := strconv.Atoi(dims[0])
+	n, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || m < 0 || n < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad coordinate sizes %q", sizeLine)
+	}
+	return readCoordinate(sc, m, n, nnz, field, symmetry)
+}
+
+func readArray(sc *bufio.Scanner, m, n int, symmetry string) (*matrix.Dense, error) {
+	a := matrix.New(m, n)
+	want := m * n
+	if symmetry == "symmetric" {
+		if m != n {
+			return nil, fmt.Errorf("mmio: symmetric array must be square")
+		}
+		want = m * (m + 1) / 2
+	}
+	vals := make([]float64, 0, want)
+	for sc.Scan() && len(vals) < want {
+		for _, f := range strings.Fields(sc.Text()) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value %q", f)
+			}
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < want {
+		return nil, fmt.Errorf("mmio: expected %d values, got %d", want, len(vals))
+	}
+	idx := 0
+	if symmetry == "symmetric" {
+		for j := 0; j < n; j++ {
+			for i := j; i < m; i++ {
+				a.Set(i, j, vals[idx])
+				a.Set(j, i, vals[idx])
+				idx++
+			}
+		}
+		return a, nil
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			a.Set(i, j, vals[idx])
+			idx++
+		}
+	}
+	return a, nil
+}
+
+func readCoordinate(sc *bufio.Scanner, m, n, nnz int, field, symmetry string) (*matrix.Dense, error) {
+	a := matrix.New(m, n)
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		minFields := 3
+		if field == "pattern" {
+			minFields = 2
+		}
+		if len(f) < minFields {
+			return nil, fmt.Errorf("mmio: short entry %q", line)
+		}
+		i, err1 := strconv.Atoi(f[0])
+		j, err2 := strconv.Atoi(f[1])
+		if err1 != nil || err2 != nil || i < 1 || i > m || j < 1 || j > n {
+			return nil, fmt.Errorf("mmio: bad indices %q", line)
+		}
+		v := 1.0
+		if field != "pattern" {
+			var err error
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value %q", line)
+			}
+		}
+		a.Set(i-1, j-1, v)
+		if symmetry == "symmetric" && i != j {
+			a.Set(j-1, i-1, v)
+		}
+		read++
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+	}
+	return a, nil
+}
+
+// Write emits a dense matrix in `array real general` format with full
+// float64 round-trip precision.
+func Write(w io.Writer, a *matrix.Dense) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix array real general")
+	fmt.Fprintf(bw, "%d %d\n", a.Rows, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			fmt.Fprintf(bw, "%.17g\n", a.At(i, j))
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,172 @@
+package mpi
+
+// Binomial-tree collectives. The tree over p ranks has depth ⌈log₂ p⌉ and
+// p−1 edges, so a reduce or broadcast costs log₂(P) messages on the
+// critical path — the term the paper's Table I/II model counts per
+// allreduce.
+
+// Op combines src into dst elementwise (dst is the accumulator).
+type Op func(dst, src []float64)
+
+// OpSum adds src into dst.
+func OpSum(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// OpMax keeps the elementwise maximum in dst.
+func OpMax(dst, src []float64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Tags reserved for collective traffic; user tags must be >= 0.
+const (
+	bcastTag   = -2
+	reduceTag  = -3
+	gatherTag  = -5
+	scatterTag = -6
+)
+
+// relRank maps a rank into the tree rooted at root (rotation), and back.
+func relRank(rank, root, n int) int { return (rank - root + n) % n }
+func absRank(rel, root, n int) int  { return (rel + root) % n }
+
+// Bcast broadcasts data from root along a binomial tree. Every rank
+// passes a slice of equal length; non-root contents are overwritten.
+// The slice is returned for convenience.
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	me := relRank(c.rank, root, n)
+	// Receive from parent: clear lowest set bit.
+	if me != 0 {
+		parent := me & (me - 1)
+		got := c.Recv(absRank(parent, root, n), bcastTag)
+		copy(data, got)
+	}
+	// Forward to children: set each bit above my lowest set bit while in
+	// range. Children of rel r are r | (1<<k) for k above r's highest
+	// set bit... binomial: for mask from highest to my own position.
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			break
+		}
+		child := me | mask
+		if child < n {
+			c.Send(absRank(child, root, n), data, bcastTag)
+		}
+	}
+	return data
+}
+
+// Reduce combines every rank's data with op down a binomial tree; the
+// fully reduced vector lands on root (returned there; nil elsewhere).
+// The caller's data slice is never mutated, but ownership of it passes to
+// the collective (it may be forwarded by reference).
+func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	n := c.Size()
+	me := relRank(c.rank, root, n)
+	acc := data
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			parent := me &^ mask
+			c.Send(absRank(parent, root, n), acc, reduceTag)
+			return nil
+		}
+		child := me | mask
+		if child < n {
+			got := c.Recv(absRank(child, root, n), reduceTag)
+			// Accumulate into a private copy the first time so the
+			// caller's slice is never mutated.
+			if len(acc) > 0 && &acc[0] == &data[0] {
+				acc = append([]float64(nil), acc...)
+			}
+			op(acc, got)
+		}
+	}
+	return acc
+}
+
+// Allreduce reduces to comm rank 0 and broadcasts back, returning the
+// combined vector on every rank. This is the "single complex allreduce"
+// structure of the paper's Section II-C; cost 2·log₂(P) messages on the
+// critical path.
+func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	out := c.Reduce(0, data, op)
+	if c.rank != 0 {
+		out = make([]float64, len(data))
+	}
+	return c.Bcast(0, out)
+}
+
+// Barrier blocks until every rank of the communicator has entered it; in
+// virtual mode the fan-in/fan-out also synchronizes all virtual clocks
+// (up to link delays), which makes Now() comparable across ranks when
+// timing sections. Implemented as an allreduce of a 1-element payload.
+func (c *Comm) Barrier() {
+	if c.Size() == 1 {
+		return
+	}
+	c.Allreduce(make([]float64, 1), OpSum)
+}
+
+// Gather collects every rank's equal-length vector on root, concatenated
+// in comm-rank order. Returns nil on non-root ranks.
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	n := c.Size()
+	if c.rank != root {
+		c.Send(root, data, gatherTag)
+		return nil
+	}
+	out := make([]float64, len(data)*n)
+	copy(out[c.rank*len(data):], data)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		got := c.Recv(r, gatherTag)
+		copy(out[r*len(data):], got)
+	}
+	return out
+}
+
+// Allgather collects every rank's equal-length vector on every rank,
+// concatenated in comm-rank order: a gather to rank 0 followed by a
+// broadcast (2·log₂P critical-path stages).
+func (c *Comm) Allgather(data []float64) []float64 {
+	n := c.Size()
+	out := c.Gather(0, data)
+	if c.rank != 0 {
+		out = make([]float64, len(data)*n)
+	}
+	return c.Bcast(0, out)
+}
+
+// Scatter distributes root's concatenated buffer (length = chunk·P) so
+// comm rank r receives chunk elements starting at r·chunk. Non-root
+// ranks pass nil data.
+func (c *Comm) Scatter(root int, data []float64, chunk int) []float64 {
+	n := c.Size()
+	if c.rank == root {
+		if len(data) != chunk*n {
+			panic("mpi: Scatter buffer length must be chunk*P")
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, data[r*chunk:(r+1)*chunk], scatterTag)
+		}
+		out := make([]float64, chunk)
+		copy(out, data[root*chunk:(root+1)*chunk])
+		return out
+	}
+	return c.Recv(root, scatterTag)
+}

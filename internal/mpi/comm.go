@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Comm is a communicator: an ordered group of world ranks with its own
+// rank numbering and tag space, the abstraction the paper's application
+// uses to confine ScaLAPACK calls within a geographical site.
+type Comm struct {
+	ctx     *Ctx
+	path    string // tag namespace, unique per communicator tree node
+	members []int  // world ranks, index = comm rank
+	rank    int    // this process's comm rank
+	// children counts collective Split calls on this comm so successive
+	// splits get distinct tag namespaces; it stays consistent across
+	// ranks because Split is collective.
+	children int
+}
+
+// WorldComm returns the communicator spanning all ranks, with comm rank
+// equal to world rank.
+func WorldComm(ctx *Ctx) *Comm {
+	members := make([]int, ctx.Size())
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{ctx: ctx, path: "w", members: members, rank: ctx.Rank()}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Ctx returns the underlying process context.
+func (c *Comm) Ctx() *Ctx { return c.ctx }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(r int) int { return c.members[r] }
+
+// Send transmits data to comm rank `to` with the given tag. The payload
+// slice must not be mutated afterwards (messages are not copied).
+func (c *Comm) Send(to int, data []float64, tag int) {
+	c.ctx.send(c.members[to], c.path, tag, data, 8*float64(len(data)))
+}
+
+// SendBytes transmits a data-less message that is priced and counted as
+// `bytes` bytes; cost-only algorithms use it where the real payload would
+// be a matrix that was never materialized.
+func (c *Comm) SendBytes(to int, bytes float64, tag int) {
+	c.ctx.send(c.members[to], c.path, tag, nil, bytes)
+}
+
+// Recv blocks until the matching message from comm rank `from` arrives
+// and returns its payload (nil for SendBytes messages).
+func (c *Comm) Recv(from, tag int) []float64 {
+	return c.ctx.recv(c.members[from], c.path, tag).data
+}
+
+// Sub creates a sub-communicator from an explicit member list (comm
+// ranks, in the new rank order). Every member must call Sub with the same
+// list and the same label; distinct concurrent sub-communicators of one
+// parent must use distinct labels (the label scopes the tag space).
+// Ranks outside the list must not call. No communication is involved —
+// this is how an application with global topology knowledge (a QCG-OMPI
+// JobProfile) builds communicators for free.
+func (c *Comm) Sub(members []int, label string) *Comm {
+	world := make([]int, len(members))
+	myRank := -1
+	for i, m := range members {
+		if m < 0 || m >= len(c.members) {
+			panic(fmt.Sprintf("mpi: Sub member %d out of range", m))
+		}
+		world[i] = c.members[m]
+		if m == c.rank {
+			myRank = i
+		}
+	}
+	if myRank < 0 {
+		panic("mpi: Sub called by a rank not in the member list")
+	}
+	return &Comm{ctx: c.ctx, path: c.path + "/" + label, members: world, rank: myRank}
+}
+
+// splitTag is reserved for Split's internal traffic.
+const splitTag = -1
+
+// Split partitions the communicator by color, ordering each new
+// communicator's ranks by (key, old rank), with MPI_Comm_split semantics.
+// It is collective over the communicator and costs one gather plus one
+// broadcast. A negative color returns nil (the rank opts out).
+func (c *Comm) Split(color, key int) *Comm {
+	n := c.Size()
+	// Gather (color, key) pairs at comm rank 0.
+	pairs := make([]float64, 2*n)
+	pairs[2*c.rank] = float64(color)
+	pairs[2*c.rank+1] = float64(key)
+	if c.rank == 0 {
+		for r := 1; r < n; r++ {
+			got := c.Recv(r, splitTag)
+			pairs[2*r], pairs[2*r+1] = got[0], got[1]
+		}
+		for r := 1; r < n; r++ {
+			c.Send(r, pairs, splitTag)
+		}
+	} else {
+		c.Send(0, []float64{float64(color), float64(key)}, splitTag)
+		pairs = c.Recv(0, splitTag)
+	}
+	if color < 0 {
+		return nil
+	}
+	// Deterministically build my color group ordered by (key, rank).
+	type entry struct{ rank, key int }
+	var group []entry
+	for r := 0; r < n; r++ {
+		if int(pairs[2*r]) == color {
+			group = append(group, entry{rank: r, key: int(pairs[2*r+1])})
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].key != group[j].key {
+			return group[i].key < group[j].key
+		}
+		return group[i].rank < group[j].rank
+	})
+	members := make([]int, len(group))
+	for i, e := range group {
+		members[i] = e.rank
+	}
+	c.children++
+	return c.Sub(members, fmt.Sprintf("s%d.%d", c.children, color))
+}

@@ -1,0 +1,112 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+
+	"gridqr/internal/grid"
+)
+
+// Ctx is a rank's handle on the world: the receiver of every
+// communication and cost-accounting call a distributed algorithm makes.
+// A Ctx is used only by its own rank's goroutine.
+type Ctx struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this process's world rank.
+func (c *Ctx) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Ctx) Size() int { return c.world.n }
+
+// HasData reports whether local numerical data exists in this mode;
+// cost-only simulations report false and algorithms skip the arithmetic
+// while still performing every communication and cost charge.
+func (c *Ctx) HasData() bool { return c.world.hasData }
+
+// Virtual reports whether time is simulated.
+func (c *Ctx) Virtual() bool { return c.world.virtual }
+
+// World returns the Ctx's world, for counter access in tests.
+func (c *Ctx) World() *World { return c.world }
+
+// Cluster returns the index of the geographical site this rank is placed
+// on — the information QCG-OMPI exposes through JobProfile group ids.
+func (c *Ctx) Cluster() int { return c.world.g.ClusterOf(c.rank) }
+
+// Now returns this rank's current time: virtual seconds in virtual mode,
+// wall-clock seconds since Run started otherwise.
+func (c *Ctx) Now() float64 {
+	if c.world.virtual {
+		return c.world.clocks[c.rank]
+	}
+	return time.Since(c.world.start).Seconds()
+}
+
+// Charge accounts for flopCount floating-point operations of a kernel
+// whose innermost dimension is panelN (which selects the kernel
+// efficiency per the grid's saturating-rate model). In virtual mode the
+// rank's clock advances; in real mode the charge only feeds the flop
+// counter, since the caller does the arithmetic for real.
+func (c *Ctx) Charge(flopCount float64, panelN int) {
+	c.world.counters.addFlops(flopCount)
+	if !c.world.virtual {
+		return
+	}
+	rate := c.world.g.KernelGflops(c.Cluster(), panelN) * 1e9
+	dur := flopCount / rate * c.world.slowdown[c.rank]
+	start := c.world.clocks[c.rank]
+	c.world.clocks[c.rank] = start + dur
+	c.world.compute[c.rank] += dur
+	c.world.recordEvent(Event{Rank: c.rank, Kind: EventCompute, Start: start, End: start + dur, Peer: -1})
+}
+
+// Sleep advances this rank's virtual clock by the given seconds (no-op in
+// real mode); used to model fixed software overheads.
+func (c *Ctx) Sleep(seconds float64) {
+	if c.world.virtual {
+		c.world.clocks[c.rank] += seconds
+	}
+}
+
+// send is the single point every transfer goes through: it prices the
+// message on the link between the two ranks, counts it, and enqueues it.
+func (c *Ctx) send(to int, comm string, tag int, data []float64, bytes float64) {
+	if to < 0 || to >= c.world.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	if to == c.rank {
+		panic("mpi: send to self (algorithms must special-case self-messages)")
+	}
+	link, class := c.world.g.LinkBetween(c.rank, to)
+	c.world.counters.record(class, bytes)
+	m := message{from: c.rank, comm: comm, tag: tag, data: data, bytes: bytes, class: int(class)}
+	if c.world.virtual {
+		now := c.world.clocks[c.rank]
+		m.arrival = now + link.TransferTime(bytes)
+		c.world.recordEvent(Event{Rank: c.rank, Kind: EventSend, Start: now, End: now,
+			Peer: to, Bytes: bytes, Class: class})
+	}
+	c.world.boxes[to].put(m)
+}
+
+// recv blocks for the matching message and, in virtual mode, advances the
+// local clock to its arrival time, attributing the idle gap to the link
+// class the message traversed (the per-class wait breakdown of
+// World.Breakdown).
+func (c *Ctx) recv(from int, comm string, tag int) message {
+	if from < 0 || from >= c.world.n {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
+	}
+	m := c.world.boxes[c.rank].take(from, comm, tag)
+	if c.world.virtual && m.arrival > c.world.clocks[c.rank] {
+		start := c.world.clocks[c.rank]
+		c.world.wait[c.rank][m.class] += m.arrival - start
+		c.world.clocks[c.rank] = m.arrival
+		c.world.recordEvent(Event{Rank: c.rank, Kind: EventWait, Start: start, End: m.arrival,
+			Peer: from, Bytes: m.bytes, Class: grid.LinkClass(m.class)})
+	}
+	return m
+}

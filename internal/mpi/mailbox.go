@@ -1,0 +1,73 @@
+package mpi
+
+import "sync"
+
+// message is one tagged point-to-point transfer. comm scopes tags to a
+// communicator so traffic on different communicators can never
+// cross-match.
+type message struct {
+	from    int
+	comm    string
+	tag     int
+	data    []float64
+	bytes   float64
+	arrival float64 // virtual arrival time; 0 in real mode
+	class   int     // grid.LinkClass of the traversed link
+}
+
+// mailbox is a per-rank queue of undelivered messages with match-by-
+// (sender, communicator, tag) semantics. Messages from the same sender
+// with the same tag are delivered in send order.
+type mailbox struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []message
+	poisoned bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m message) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message matching (from, comm, tag) is available and
+// removes it from the queue. It panics if the mailbox is poisoned (a
+// sibling rank crashed), so World.Run can unwind cleanly.
+func (b *mailbox) take(from int, comm string, tag int) message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.poisoned {
+			panic("mpi: peer rank panicked while this rank was receiving")
+		}
+		for i, m := range b.queue {
+			if m.from == from && m.comm == comm && m.tag == tag {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) unpoison() {
+	b.mu.Lock()
+	b.poisoned = false
+	b.queue = nil
+	b.mu.Unlock()
+}

@@ -1,0 +1,139 @@
+package mpi
+
+import (
+	"fmt"
+	"strings"
+
+	"gridqr/internal/grid"
+)
+
+// Execution tracing for virtual-mode worlds: every compute charge and
+// every message wait becomes a timestamped event, and the collected
+// timeline can be rendered as a text Gantt chart — the visual form of the
+// paper's Section V-E time-breakdown argument.
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	EventCompute EventKind = iota
+	EventWait              // receiver idle until a message arrived
+	EventSend              // instantaneous on the sender (eager transport)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCompute:
+		return "compute"
+	case EventWait:
+		return "wait"
+	default:
+		return "send"
+	}
+}
+
+// Event is one timeline entry of one rank.
+type Event struct {
+	Rank       int
+	Kind       EventKind
+	Start, End float64
+	Peer       int // counterpart rank for Wait/Send; -1 for compute
+	Bytes      float64
+	Class      grid.LinkClass // meaningful for Wait/Send
+}
+
+// Traced enables event collection on a virtual world.
+func Traced() Option { return func(w *World) { w.traced = true } }
+
+// Events returns every recorded event, grouped by rank (index = rank).
+// Call after Run.
+func (w *World) Events() [][]Event { return w.events }
+
+func (w *World) recordEvent(e Event) {
+	if w.traced {
+		w.events[e.Rank] = append(w.events[e.Rank], e)
+	}
+}
+
+// Gantt renders the trace as one text row per rank over the given number
+// of time buckets: '#' compute, '-' intra-cluster wait, '=' intra-node
+// wait, '!' inter-cluster wait, ' ' idle/untracked. When a bucket holds a
+// mix, the most time-consuming activity wins.
+func (w *World) Gantt(buckets int) string {
+	if !w.traced {
+		return "trace disabled (create the world with mpi.Traced())\n"
+	}
+	total := w.MaxClock()
+	if total <= 0 || buckets < 1 {
+		return "empty trace\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "virtual time: %.6f s, one column = %.2e s\n", total, total/float64(buckets))
+	fmt.Fprintf(&b, "legend: '#' compute, '!' inter-cluster wait, '-' intra-cluster wait, '=' intra-node wait\n")
+	for rank, evs := range w.events {
+		// weight[bucket][category]
+		weights := make([][4]float64, buckets)
+		for _, e := range evs {
+			if e.Kind == EventSend || e.End <= e.Start {
+				continue
+			}
+			cat := 0
+			if e.Kind == EventWait {
+				switch e.Class {
+				case grid.InterCluster:
+					cat = 1
+				case grid.IntraCluster:
+					cat = 2
+				default:
+					cat = 3
+				}
+			}
+			spread(weights, e.Start/total, e.End/total, cat)
+		}
+		row := make([]byte, buckets)
+		glyphs := [4]byte{'#', '!', '-', '='}
+		for i, ws := range weights {
+			best, bestW := -1, 0.0
+			for c, wgt := range ws {
+				if wgt > bestW {
+					best, bestW = c, wgt
+				}
+			}
+			if best < 0 {
+				row[i] = ' '
+			} else {
+				row[i] = glyphs[best]
+			}
+		}
+		fmt.Fprintf(&b, "rank %3d |%s|\n", rank, string(row))
+	}
+	return b.String()
+}
+
+// spread adds an interval [s, e) (as fractions of the total time) into
+// the bucket weights of one category.
+func spread(weights [][4]float64, s, e float64, cat int) {
+	n := float64(len(weights))
+	lo := s * n
+	hi := e * n
+	for i := int(lo); i < len(weights) && float64(i) < hi; i++ {
+		l, h := maxf(lo, float64(i)), minf(hi, float64(i+1))
+		if h > l {
+			weights[i][cat] += h - l
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

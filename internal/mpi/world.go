@@ -1,0 +1,204 @@
+// Package mpi provides the message-passing runtime the distributed
+// algorithms are written against: ranks, tagged point-to-point messages,
+// communicators with binomial-tree collectives, and communicator
+// splitting — the subset of MPI the paper's implementation uses.
+//
+// A World runs one goroutine per rank. Two execution modes share all the
+// algorithm code:
+//
+//   - real mode: messages move between goroutines and time is wall-clock
+//     time, for in-process parallel execution and correctness tests;
+//   - virtual mode: each rank carries a virtual clock advanced by a
+//     LogGP-style cost model — computation adds flops/rate, a message
+//     adds latency + bytes/bandwidth of the link class it traverses
+//     (intra-node, intra-cluster, or inter-cluster per the attached
+//     grid.Grid). Receiving sets the receiver clock to
+//     max(local, arrival). This reproduces the paper's Equation 1 while
+//     executing the actual algorithm, so message counts and volumes are
+//     measured, not assumed.
+//
+// Virtual mode can additionally run cost-only (HasData() == false): local
+// matrix blocks are never materialized and messages carry only sizes,
+// which lets the Grid'5000-scale experiments (up to 33M-row matrices on
+// 256 processes) run on one laptop-class machine.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gridqr/internal/grid"
+)
+
+// World owns the mailboxes, clocks and counters of a set of ranks.
+type World struct {
+	n                int
+	g                *grid.Grid
+	virtual          bool
+	hasData          bool
+	boxes            []*mailbox
+	clocks           []float64 // virtual seconds, one per rank; owner-goroutine access during Run
+	compute          []float64 // virtual seconds each rank spent computing
+	wait             [][3]float64
+	traced           bool
+	events           [][]Event // per-rank, owner-goroutine access during Run
+	slowdown         []float64 // per-rank compute multiplier (1 = nominal)
+	pendingSlowdowns []pendingSlowdown
+	counters         Counters
+	start            time.Time
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// Virtual switches the world to virtual time using the attached grid's
+// link and kernel-rate parameters.
+func Virtual() Option { return func(w *World) { w.virtual = true } }
+
+// CostOnly implies Virtual and additionally tells algorithms not to
+// materialize or compute local data (Ctx.HasData reports false).
+func CostOnly() Option {
+	return func(w *World) { w.virtual = true; w.hasData = false }
+}
+
+// Slowdown scales one rank's virtual compute rate by 1/factor — a
+// background-loaded or slower machine, the volatility of the desktop
+// grids the paper leaves as future work. factor 2 means twice as slow;
+// it must be >= 1 and only affects virtual mode.
+func Slowdown(rank int, factor float64) Option {
+	return func(w *World) {
+		if factor < 1 {
+			panic("mpi: slowdown factor must be >= 1")
+		}
+		w.pendingSlowdowns = append(w.pendingSlowdowns, pendingSlowdown{rank, factor})
+	}
+}
+
+type pendingSlowdown struct {
+	rank   int
+	factor float64
+}
+
+// NewWorld creates a world with one rank per processor of g. The grid is
+// always used for rank placement and per-link-class message counting; its
+// timing parameters matter only in virtual mode.
+func NewWorld(g *grid.Grid, opts ...Option) *World {
+	if err := g.Validate(); err != nil {
+		panic(fmt.Sprintf("mpi: invalid grid: %v", err))
+	}
+	w := &World{n: g.Procs(), g: g, hasData: true}
+	for _, o := range opts {
+		o(w)
+	}
+	w.slowdown = make([]float64, w.n)
+	for i := range w.slowdown {
+		w.slowdown[i] = 1
+	}
+	for _, ps := range w.pendingSlowdowns {
+		if ps.rank < 0 || ps.rank >= w.n {
+			panic(fmt.Sprintf("mpi: slowdown rank %d out of range", ps.rank))
+		}
+		w.slowdown[ps.rank] = ps.factor
+	}
+	w.boxes = make([]*mailbox, w.n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.clocks = make([]float64, w.n)
+	w.compute = make([]float64, w.n)
+	w.wait = make([][3]float64, w.n)
+	w.events = make([][]Event, w.n)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Grid returns the platform description ranks are placed on.
+func (w *World) Grid() *grid.Grid { return w.g }
+
+// Run executes fn concurrently on every rank and blocks until all
+// complete. A panic on any rank is re-raised on the caller after all
+// other ranks are done or stuck senders are drained.
+func (w *World) Run(fn func(*Ctx)) {
+	w.start = time.Now()
+	var wg sync.WaitGroup
+	panics := make([]any, w.n)
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+					// Unblock every rank potentially waiting on us.
+					for _, b := range w.boxes {
+						b.poison()
+					}
+				}
+			}()
+			fn(&Ctx{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for rank, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", rank, p))
+		}
+	}
+	for _, b := range w.boxes {
+		b.unpoison()
+	}
+}
+
+// MaxClock returns the virtual completion time: the maximum final clock
+// across ranks. Zero in real mode.
+func (w *World) MaxClock() float64 {
+	var m float64
+	for _, c := range w.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Counters returns a snapshot of the message counters accumulated since
+// the last ResetCounters.
+func (w *World) Counters() CounterSnapshot { return w.counters.snapshot() }
+
+// TimeBreakdown splits a rank's virtual time into computation and the
+// idle gaps spent waiting for messages, per link class — the quantities
+// behind the paper's Section V-E observation that communication time
+// becomes negligible as the matrix grows.
+type TimeBreakdown struct {
+	Compute float64
+	Wait    [3]float64 // indexed by grid.LinkClass
+}
+
+// Total returns compute plus all waits.
+func (t TimeBreakdown) Total() float64 {
+	return t.Compute + t.Wait[0] + t.Wait[1] + t.Wait[2]
+}
+
+// Breakdown returns the time breakdown of the rank whose final clock is
+// largest (the critical rank). Call after Run, in virtual mode.
+func (w *World) Breakdown() TimeBreakdown {
+	worst := 0
+	for r, c := range w.clocks {
+		if c > w.clocks[worst] {
+			worst = r
+		}
+	}
+	return w.BreakdownOf(worst)
+}
+
+// BreakdownOf returns one rank's time breakdown.
+func (w *World) BreakdownOf(rank int) TimeBreakdown {
+	return TimeBreakdown{Compute: w.compute[rank], Wait: w.wait[rank]}
+}
+
+// ResetCounters zeroes the message counters; call between a setup phase
+// and the measured phase.
+func (w *World) ResetCounters() { w.counters.reset() }

@@ -1,0 +1,219 @@
+// Package perfmodel implements the analytic performance model of the
+// paper's Section IV: the communication/computation breakdowns of
+// Tables I and II, the time formula of Equation 1, and grid-aware
+// predictors that capture Properties 1–5. The experiment harness prints
+// model predictions next to simulator measurements.
+package perfmodel
+
+import (
+	"math"
+
+	"gridqr/internal/flops"
+	"gridqr/internal/grid"
+)
+
+// Breakdown is one row of Table I/II: message count, exchanged volume
+// (bytes) and flop count on the critical path, per domain.
+type Breakdown struct {
+	Msgs   float64
+	Volume float64
+	Flops  float64
+}
+
+// ScaLAPACKR is Table I's ScaLAPACK QR2 row (R-factor only) for an M×N
+// matrix over P domains: 2N·log₂(P) messages, log₂(P)·N²/2 words,
+// (2MN² − 2N³/3)/P flops.
+func ScaLAPACKR(m, n, p int) Breakdown {
+	lg := flops.Log2(p)
+	fn := float64(n)
+	return Breakdown{
+		Msgs:   2 * fn * lg,
+		Volume: 8 * lg * fn * fn / 2,
+		Flops:  flops.QR2Critical(m, n, p),
+	}
+}
+
+// TSQRR is Table I's TSQR row (R-factor only): log₂(P) messages, the same
+// volume, and the additional 2/3·log₂(P)·N³ flop term that trades
+// communication for computation.
+func TSQRR(m, n, p int) Breakdown {
+	lg := flops.Log2(p)
+	fn := float64(n)
+	return Breakdown{
+		Msgs:   lg,
+		Volume: 8 * lg * fn * fn / 2,
+		Flops:  flops.TSQRCritical(m, n, p),
+	}
+}
+
+// ScaLAPACKQR is Table II's ScaLAPACK QR2 row (both Q and R): exactly
+// twice the R-only costs.
+func ScaLAPACKQR(m, n, p int) Breakdown { return double(ScaLAPACKR(m, n, p)) }
+
+// TSQRQR is Table II's TSQR row (both Q and R): twice the R-only costs.
+func TSQRQR(m, n, p int) Breakdown { return double(TSQRR(m, n, p)) }
+
+func double(b Breakdown) Breakdown {
+	return Breakdown{Msgs: 2 * b.Msgs, Volume: 2 * b.Volume, Flops: 2 * b.Flops}
+}
+
+// Time is Equation 1: time = β·msgs + α·volume + γ·flops, with β the
+// latency (s), alphaInv the bandwidth (bytes/s) and rate the floating
+// point rate (flop/s).
+func Time(b Breakdown, latency, bandwidth, rate float64) float64 {
+	return latency*b.Msgs + b.Volume/bandwidth + b.Flops/rate
+}
+
+// UsefulFlops is the operation count credited to a QR factorization when
+// reporting Gflop/s, the paper's 2MN² − 2N³/3 (R only; doubled with Q).
+func UsefulFlops(m, n int, wantQ bool) float64 {
+	f := flops.GEQRF(m, n)
+	if wantQ {
+		f *= 2
+	}
+	return f
+}
+
+// Gflops converts a factorization time to the paper's performance metric.
+func Gflops(m, n int, wantQ bool, seconds float64) float64 {
+	return UsefulFlops(m, n, wantQ) / seconds / 1e9
+}
+
+// Predictor evaluates the model on a concrete platform: a grid restricted
+// to its first Sites clusters, with DomainsPerCluster TSQR domains per
+// site (0 = one per process). It composes Equation 1 hierarchically —
+// intra-cluster reduction stages priced with the cluster switch, the
+// cross-site stage with the inter-cluster links — which is exactly the
+// structure the tuned reduction tree exploits.
+type Predictor struct {
+	G                 *grid.Grid
+	Sites             int
+	DomainsPerCluster int
+}
+
+func (p Predictor) sites() int {
+	if p.Sites <= 0 {
+		return len(p.G.Clusters)
+	}
+	return p.Sites
+}
+
+// procs returns the process count over the first Sites clusters.
+func (p Predictor) procs() int {
+	total := 0
+	for _, c := range p.G.Clusters[:p.sites()] {
+		total += c.Procs()
+	}
+	return total
+}
+
+// linkAverages returns representative intra-cluster and inter-cluster
+// links (the worst across the used sites, matching the paper's
+// slowest-component convention).
+func (p Predictor) links() (intra, inter grid.Link) {
+	s := p.sites()
+	intra = p.G.Inter[0][0]
+	inter = grid.Link{Latency: 0, Bandwidth: 1e300}
+	for i := 0; i < s; i++ {
+		if l := p.G.Inter[i][i]; l.Latency > intra.Latency {
+			intra = l
+		}
+		for j := i + 1; j < s; j++ {
+			l := p.G.Inter[i][j]
+			if l.Latency > inter.Latency {
+				inter.Latency = l.Latency
+			}
+			if l.Bandwidth < inter.Bandwidth {
+				inter.Bandwidth = l.Bandwidth
+			}
+		}
+	}
+	if s == 1 {
+		inter = intra
+	}
+	return intra, inter
+}
+
+// rate returns the modeled per-process kernel rate (flop/s) at panel
+// width n, using the slowest site (the paper's efficiency convention).
+func (p Predictor) rate(n int) float64 {
+	slowest := p.G.KernelGflops(0, n)
+	for c := 1; c < p.sites(); c++ {
+		if r := p.G.KernelGflops(c, n); r < slowest {
+			slowest = r
+		}
+	}
+	return slowest * 1e9
+}
+
+// TSQRTime predicts the QCG-TSQR factorization time for an M×N matrix.
+func (p Predictor) TSQRTime(m, n int, wantQ bool) float64 {
+	sites := p.sites()
+	procs := p.procs()
+	d := p.DomainsPerCluster
+	if d <= 0 {
+		d = procs / sites
+	}
+	domains := d * sites
+	intra, inter := p.links()
+	triBytes := 8 * float64(n) * float64(n+1) / 2
+	// Leaf: each domain factors its m/domains × n block; multi-process
+	// domains split the work over their processes but pay the QR2
+	// allreduce latency within the cluster.
+	group := procs / sites / d
+	leaf := flops.GEQRF(m/domains, n) / float64(group) / p.rate(n)
+	if group > 1 {
+		leaf += 2 * float64(n) * flops.Log2(group) * intra.TransferTime(8*float64(n)/2)
+	}
+	// Intra-cluster reduction: log₂(d) stages of stacked-triangle QR.
+	t := leaf
+	t += flops.Log2(d) * (intra.TransferTime(triBytes) + flops.StackQR(n)/p.rate(n))
+	// Cross-site reduction: log₂(sites) stages over the wide-area links.
+	t += flops.Log2(sites) * (inter.TransferTime(triBytes) + flops.StackQR(n)/p.rate(n))
+	if wantQ {
+		t *= 2 // Property 1
+	}
+	return t
+}
+
+// ScaLAPACKTime predicts the ScaLAPACK QR2 factorization time: 2N
+// allreduces, each a binomial tree spanning all sites, plus the evenly
+// divided factorization flops.
+func (p Predictor) ScaLAPACKTime(m, n int, wantQ bool) float64 {
+	sites := p.sites()
+	procs := p.procs()
+	intra, inter := p.links()
+	// One allreduce = up+down the binomial tree: log₂(procs/sites)
+	// intra-cluster hops and log₂(sites) inter-cluster hops, each way.
+	hop := func(bytes float64) float64 {
+		return 2 * (flops.Log2(procs/sites)*intra.TransferTime(bytes) +
+			flops.Log2(sites)*inter.TransferTime(bytes))
+	}
+	avgMsg := 8 * float64(n) / 2 // average update-vector length in bytes
+	t := 2 * float64(n) * hop(avgMsg)
+	t += flops.GEQRF(m, n) / float64(procs) / p.rate(n)
+	if wantQ {
+		t *= 2
+	}
+	return t
+}
+
+// BestDomains returns the domains-per-cluster count the model predicts
+// fastest for an M×N factorization, among divisors of the per-cluster
+// process count — the model-side answer to the paper's Figures 6 and 7
+// tuning question.
+func (p Predictor) BestDomains(m, n int) int {
+	perCluster := p.procs() / p.sites()
+	best, bestTime := 1, math.Inf(1)
+	for d := 1; d <= perCluster; d++ {
+		if perCluster%d != 0 {
+			continue
+		}
+		q := p
+		q.DomainsPerCluster = d
+		if t := q.TSQRTime(m, n, false); t < bestTime {
+			best, bestTime = d, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,43 @@
+package subspace_test
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+	"gridqr/internal/subspace"
+)
+
+// ExampleIterate finds the two dominant eigenvalues of a diagonal
+// operator distributed over four processes.
+func ExampleIterate() {
+	g := grid.SmallTestGrid(2, 2, 1)
+	const m, k = 64, 2
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	op := subspace.Diagonal{Offsets: offsets, D: func(i int) float64 {
+		return math.Pow(1.3, float64(i))
+	}}
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var res *subspace.Result
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		r := subspace.Iterate(comm, op, offsets, subspace.Options{
+			BlockSize: k, MaxIter: 300, Tol: 1e-10, Seed: 1,
+		})
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+	})
+	fmt.Println("converged:", res.Converged)
+	fmt.Printf("ratio to exact: %.6f %.6f\n",
+		res.Values[0]/math.Pow(1.3, m-1), res.Values[1]/math.Pow(1.3, m-2))
+	// Output:
+	// converged: true
+	// ratio to exact: 1.000000 1.000000
+}

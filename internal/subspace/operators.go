@@ -1,0 +1,141 @@
+package subspace
+
+import (
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+)
+
+// Diagonal is the operator diag(d(0), d(1), …) — communication-free, with
+// a known spectrum, used to validate the eigensolver.
+type Diagonal struct {
+	Offsets []int
+	D       func(i int) float64
+}
+
+// Apply computes out = D·in on this rank's rows.
+func (o Diagonal) Apply(comm *mpi.Comm, in, out *matrix.Dense) {
+	off := o.Offsets[comm.Rank()]
+	for j := 0; j < in.Cols; j++ {
+		ci, co := in.Col(j), out.Col(j)
+		for i := range ci {
+			co[i] = o.D(off+i) * ci[i]
+		}
+	}
+}
+
+// Laplacian1D is the (negated, shifted) 1-D Laplacian stencil
+// (A·v)_i = 2v_i − v_{i−1} − v_{i+1} with zero Dirichlet boundaries,
+// distributed by contiguous row blocks. Applying it exchanges one halo
+// row with each neighboring rank — the communication pattern of a
+// distributed sparse matvec. Its spectrum is known in closed form:
+// λ_j = 2 − 2cos(jπ/(m+1)), j = 1..m.
+type Laplacian1D struct {
+	Offsets []int
+}
+
+const haloTag = 1 << 18
+
+// Apply computes the stencil on this rank's rows, exchanging boundary
+// rows with the neighbor ranks.
+func (o Laplacian1D) Apply(comm *mpi.Comm, in, out *matrix.Dense) {
+	me := comm.Rank()
+	p := comm.Size()
+	rows, k := in.Rows, in.Cols
+	// Halo exchange: send my first row up and my last row down, receive
+	// symmetric halos. Even/odd phases are unnecessary — the mailbox
+	// transport never blocks on send.
+	up, down := me-1, me+1
+	topHalo := make([]float64, k) // neighbor-above's last row
+	botHalo := make([]float64, k) // neighbor-below's first row
+	sendRow := func(to int, i int) {
+		row := make([]float64, k)
+		for j := 0; j < k; j++ {
+			row[j] = in.At(i, j)
+		}
+		comm.Send(to, row, haloTag)
+	}
+	if up >= 0 {
+		sendRow(up, 0)
+	}
+	if down < p {
+		sendRow(down, rows-1)
+	}
+	if up >= 0 {
+		copy(topHalo, comm.Recv(up, haloTag))
+	} else {
+		topHalo = nil // boundary: zero
+	}
+	if down < p {
+		copy(botHalo, comm.Recv(down, haloTag))
+	} else {
+		botHalo = nil
+	}
+	for j := 0; j < k; j++ {
+		ci, co := in.Col(j), out.Col(j)
+		for i := 0; i < rows; i++ {
+			s := 2 * ci[i]
+			if i > 0 {
+				s -= ci[i-1]
+			} else if topHalo != nil {
+				s -= topHalo[j]
+			}
+			if i < rows-1 {
+				s -= ci[i+1]
+			} else if botHalo != nil {
+				s -= botHalo[j]
+			}
+			co[i] = s
+		}
+	}
+}
+
+// Chebyshev wraps an operator with a degree-d Chebyshev polynomial
+// filter: eigenvalues inside the damping interval [A, B] are squeezed
+// into [−1, 1] while eigenvalues above B are amplified as cosh(d·acosh t)
+// — the filtered subspace iteration of modern dense eigensolvers. Use it
+// as Options.Update so each outer iteration advances the subspace by d
+// operator applications while Ritz extraction keeps using the raw
+// operator.
+type Chebyshev struct {
+	Inner  Operator
+	Degree int
+	A, B   float64 // interval whose spectrum is damped
+}
+
+// Apply computes out = T_Degree(L)·in with the three-term recurrence,
+// where L = (2·Inner − (A+B)·I)/(B−A).
+func (c Chebyshev) Apply(comm *mpi.Comm, in, out *matrix.Dense) {
+	if c.Degree < 1 || c.B <= c.A {
+		panic("subspace: Chebyshev needs Degree >= 1 and B > A")
+	}
+	center := (c.A + c.B) / 2
+	half := (c.B - c.A) / 2
+	rows, k := in.Rows, in.Cols
+	applyL := func(src, dst *matrix.Dense) {
+		c.Inner.Apply(comm, src, dst)
+		for j := 0; j < k; j++ {
+			cs, cd := src.Col(j), dst.Col(j)
+			for i := 0; i < rows; i++ {
+				cd[i] = (cd[i] - center*cs[i]) / half
+			}
+		}
+	}
+	prev := in.Clone() // T_0·in
+	cur := matrix.New(rows, k)
+	applyL(in, cur) // T_1·in
+	scratch := matrix.New(rows, k)
+	for d := 2; d <= c.Degree; d++ {
+		// next = 2·L·cur − prev
+		applyL(cur, scratch)
+		for j := 0; j < k; j++ {
+			cn, cc, cp := scratch.Col(j), cur.Col(j), prev.Col(j)
+			for i := 0; i < rows; i++ {
+				cn[i] = 2*cn[i] - cp[i]
+			}
+			copy(cp, cc)
+		}
+		// prev already holds T_{d-1} (copied column by column above).
+		cur, scratch = scratch, cur
+	}
+	matrix.Copy(out, cur)
+}

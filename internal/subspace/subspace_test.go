@@ -1,0 +1,317 @@
+package subspace
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/scalapack"
+)
+
+// runEig executes the distributed eigensolver and returns rank 0's result
+// plus the gathered Ritz vectors.
+func runEig(t *testing.T, g *grid.Grid, m int, mk func(offsets []int) Operator, opt Options) (*Result, *matrix.Dense) {
+	t.Helper()
+	p := g.Procs()
+	offsets := scalapack.BlockOffsets(m, p)
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var res *Result
+	var vecs *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		r := Iterate(comm, mk(offsets), offsets, opt)
+		vf := scalapack.Collect(comm, r.VectorsLocal, offsets, opt.BlockSize)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			res, vecs = r, vf
+			mu.Unlock()
+		}
+	})
+	return res, vecs
+}
+
+func TestDiagonalOperatorDominantEigenvalues(t *testing.T) {
+	// Geometric spectrum 1.5^i: well separated, so subspace iteration
+	// converges at rate 1/1.5 per step; dominant k values known exactly.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, k := 60, 4
+	mk := func(off []int) Operator {
+		return Diagonal{Offsets: off, D: func(i int) float64 { return math.Pow(1.5, float64(i)) }}
+	}
+	res, vecs := runEig(t, g, m, mk, Options{BlockSize: k, MaxIter: 300, Tol: 1e-10, Seed: 1})
+	if !res.Converged {
+		t.Fatalf("did not converge: residuals %v", res.Residuals)
+	}
+	for j := 0; j < k; j++ {
+		want := math.Pow(1.5, float64(m-1-j))
+		if math.Abs(res.Values[j]-want) > 1e-8*want {
+			t.Fatalf("Ritz value %d = %g want %g", j, res.Values[j], want)
+		}
+	}
+	// Eigenvector of the j-th dominant value is e_{m−1−j}.
+	for j := 0; j < k; j++ {
+		if math.Abs(math.Abs(vecs.At(m-1-j, j))-1) > 1e-6 {
+			t.Fatalf("Ritz vector %d not aligned with e_%d", j, m-1-j)
+		}
+	}
+	if e := matrix.OrthoError(vecs); e > 1e-8 {
+		t.Fatalf("Ritz vectors lost orthogonality: %g", e)
+	}
+}
+
+func TestLaplacianSpectrum(t *testing.T) {
+	// λ_j = 2 − 2cos(jπ/(m+1)); the dominant ones are j = m, m−1, …
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, k := 60, 3
+	mk := func(off []int) Operator { return Laplacian1D{Offsets: off} }
+	res, vecs := runEig(t, g, m, mk, Options{BlockSize: k, MaxIter: 5000, Tol: 1e-8, Seed: 2})
+	if !res.Converged {
+		t.Fatalf("did not converge after %d iters: residuals %v", res.Iters, res.Residuals)
+	}
+	for j := 0; j < k; j++ {
+		want := 2 - 2*math.Cos(float64(m-j)*math.Pi/float64(m+1))
+		if math.Abs(res.Values[j]-want) > 1e-7 {
+			t.Fatalf("λ_%d = %.12f want %.12f", j, res.Values[j], want)
+		}
+	}
+	// Eigenvectors of the 1-D Laplacian are sines; check the first one.
+	phase := math.Copysign(1, vecs.At(0, 0))
+	norm := math.Sqrt(2 / float64(m+1))
+	for i := 0; i < m; i++ {
+		want := phase * norm * math.Sin(float64((i+1)*m)*math.Pi/float64(m+1))
+		if math.Abs(vecs.At(i, 0)-want) > 1e-5 {
+			t.Fatalf("eigenvector entry %d = %g want %g", i, vecs.At(i, 0), want)
+		}
+	}
+}
+
+func TestLaplacianApplyMatchesDense(t *testing.T) {
+	// The distributed halo-exchange stencil must equal the dense
+	// tridiagonal product.
+	g := grid.SmallTestGrid(1, 4, 1)
+	m, k := 23, 3
+	offsets := scalapack.BlockOffsets(m, 4)
+	x := matrix.Random(m, k, 3)
+	want := matrix.New(m, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < m; i++ {
+			s := 2 * x.At(i, j)
+			if i > 0 {
+				s -= x.At(i-1, j)
+			}
+			if i < m-1 {
+				s -= x.At(i+1, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var got *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := scalapack.Distribute(x, offsets, ctx.Rank())
+		out := matrix.New(in.Rows, k)
+		Laplacian1D{Offsets: offsets}.Apply(comm, in, out)
+		full := scalapack.Collect(comm, out, offsets, k)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			got = full
+			mu.Unlock()
+		}
+	})
+	if !matrix.Equal(got, want, 1e-14) {
+		t.Fatal("distributed stencil differs from dense product")
+	}
+}
+
+func TestIterateResultIndependentOfProcessCount(t *testing.T) {
+	// The same spectral problem on 1, 2 and 4 processes must converge to
+	// the same Ritz values (the initial block is globally seeded).
+	m, k := 80, 3
+	var ref []float64
+	for _, procs := range []int{1, 2, 4} {
+		g := grid.SmallTestGrid(1, procs, 1)
+		mk := func(off []int) Operator {
+			return Diagonal{Offsets: off, D: func(i int) float64 { return math.Pow(1.4, float64(i)) }}
+		}
+		res, _ := runEig(t, g, m, mk, Options{BlockSize: k, MaxIter: 400, Tol: 1e-10, Seed: 7})
+		if !res.Converged {
+			t.Fatalf("procs=%d did not converge", procs)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), res.Values...)
+			continue
+		}
+		for j := range ref {
+			if math.Abs(res.Values[j]-ref[j]) > 1e-8 {
+				t.Fatalf("procs=%d: value %d = %g vs reference %g", procs, j, res.Values[j], ref[j])
+			}
+		}
+	}
+}
+
+func TestIterateUnconvergedReportsHonestly(t *testing.T) {
+	g := grid.SmallTestGrid(1, 2, 1)
+	mk := func(off []int) Operator { return Laplacian1D{Offsets: off} }
+	res, _ := runEig(t, g, 100, mk, Options{BlockSize: 2, MaxIter: 2, Tol: 1e-14, Seed: 3})
+	if res.Converged {
+		t.Fatal("2 iterations cannot have converged to 1e-14")
+	}
+	if res.Iters != 2 {
+		t.Fatalf("Iters = %d want 2", res.Iters)
+	}
+	for _, r := range res.Residuals {
+		if r <= 0 {
+			t.Fatal("unconverged residuals must be positive")
+		}
+	}
+}
+
+func TestIteratePanicsOnZeroBlock(t *testing.T) {
+	g := grid.SmallTestGrid(1, 1, 1)
+	w := mpi.NewWorld(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(ctx *mpi.Ctx) {
+		Iterate(mpi.WorldComm(ctx), Laplacian1D{}, []int{0, 10}, Options{BlockSize: 0})
+	})
+}
+
+func TestIterateCommunicationProfile(t *testing.T) {
+	// Per iteration: one TSQR (tree + Q pass), one Rayleigh-Ritz
+	// allreduce, one residual allreduce, halo exchanges. On a 2-cluster
+	// grid the inter-cluster traffic per iteration must be O(1), not
+	// O(k) — the reason TSQR fits this application (paper §II-E).
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, k := 80, 4
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	w := mpi.NewWorld(g)
+	iters := 5
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		Iterate(comm, Laplacian1D{Offsets: offsets}, offsets,
+			Options{BlockSize: k, MaxIter: iters, Tol: 1e-30, Seed: 4, Tree: core.TreeGrid})
+	})
+	inter := w.Counters().Inter().Msgs
+	// Per iteration: TSQR fwd 1 + Q pass 1, RR allreduce 2 (up+down),
+	// residual allreduce 2, halo 2 = 8 inter-cluster messages.
+	perIter := float64(inter) / float64(iters)
+	if perIter > 9 {
+		t.Fatalf("%.1f inter-cluster messages per iteration, want O(1) (≤9)", perIter)
+	}
+}
+
+func TestChebyshevSharesEigenvectors(t *testing.T) {
+	// T_d(L)·v = T_d(λ̃)·v for an eigenpair (λ, v): check on a diagonal
+	// operator against the closed form.
+	g := grid.SmallTestGrid(1, 1, 1)
+	m, deg := 8, 5
+	offsets := scalapack.BlockOffsets(m, 1)
+	d := func(i int) float64 { return float64(i) } // eigenvalues 0..7
+	a, b := 0.0, 4.0
+	w := mpi.NewWorld(g)
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		ch := Chebyshev{Inner: Diagonal{Offsets: offsets, D: d}, Degree: deg, A: a, B: b}
+		in := matrix.New(m, 1)
+		in.Set(6, 0, 1) // eigenvector e_6, eigenvalue 6 (above the interval)
+		out := matrix.New(m, 1)
+		ch.Apply(comm, in, out)
+		// Expected amplification: T_5(t) with t = (2·6 − 4)/4 = 2.
+		tmap := (2*6.0 - (a + b)) / (b - a)
+		want := chebT(deg, tmap)
+		if math.Abs(out.At(6, 0)-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("T_%d amplification = %g want %g", deg, out.At(6, 0), want)
+		}
+		// Inside the interval, |T_d| <= 1.
+		in2 := matrix.New(m, 1)
+		in2.Set(2, 0, 1) // eigenvalue 2 inside [0,4]
+		out2 := matrix.New(m, 1)
+		ch.Apply(comm, in2, out2)
+		if math.Abs(out2.At(2, 0)) > 1+1e-12 {
+			t.Fatalf("interval eigenvalue amplified: %g", out2.At(2, 0))
+		}
+	})
+}
+
+// chebT evaluates the Chebyshev polynomial T_d(x) for |x| possibly > 1.
+func chebT(d int, x float64) float64 {
+	if x > 1 {
+		return math.Cosh(float64(d) * math.Acosh(x))
+	}
+	if x < -1 {
+		s := 1.0
+		if d%2 == 1 {
+			s = -1
+		}
+		return s * math.Cosh(float64(d)*math.Acosh(-x))
+	}
+	return math.Cos(float64(d) * math.Acos(x))
+}
+
+func TestChebyshevAcceleratesConvergence(t *testing.T) {
+	// The filtered iteration must converge in far fewer outer iterations
+	// than the raw one on the clustered Laplacian spectrum.
+	g := grid.SmallTestGrid(2, 2, 1)
+	m, k := 100, 4
+	offsets := scalapack.BlockOffsets(m, g.Procs())
+	raw := func() int {
+		var iters int
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			r := Iterate(comm, Laplacian1D{Offsets: offsets}, offsets,
+				Options{BlockSize: k, MaxIter: 20000, Tol: 1e-8, Seed: 1})
+			if comm.Rank() == 0 {
+				iters = r.Iters
+			}
+		})
+		return iters
+	}()
+	filtered := func() int {
+		var iters int
+		var conv bool
+		w := mpi.NewWorld(g)
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			lap := Laplacian1D{Offsets: offsets}
+			r := Iterate(comm, lap, offsets, Options{
+				BlockSize: k, MaxIter: 2000, Tol: 1e-8, Seed: 1,
+				Update: Chebyshev{Inner: lap, Degree: 8, A: 0, B: 3.8},
+			})
+			if comm.Rank() == 0 {
+				iters, conv = r.Iters, r.Converged
+			}
+		})
+		if !conv {
+			t.Fatal("filtered iteration did not converge")
+		}
+		return iters
+	}()
+	if filtered*10 > raw {
+		t.Fatalf("Chebyshev filter not accelerating: %d filtered vs %d raw iterations", filtered, raw)
+	}
+}
+
+func TestChebyshevPanicsOnBadInterval(t *testing.T) {
+	g := grid.SmallTestGrid(1, 1, 1)
+	w := mpi.NewWorld(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(ctx *mpi.Ctx) {
+		ch := Chebyshev{Inner: Laplacian1D{Offsets: []int{0, 4}}, Degree: 0, A: 0, B: 1}
+		ch.Apply(mpi.WorldComm(ctx), matrix.New(4, 1), matrix.New(4, 1))
+	})
+}

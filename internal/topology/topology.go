@@ -1,0 +1,255 @@
+// Package topology is the QCG-OMPI analog: the topology-aware middleware
+// layer of the paper (Section II-D). An application describes the process
+// topology it wants in a JobProfile — groups of equivalent computing
+// power with good connectivity inside each group and possibly weaker
+// connectivity between groups. The meta-scheduler (Allocate) reserves
+// matching resources on the physical grid, and at run time every process
+// can retrieve its group identifier (the "MPI attribute" of the paper)
+// and build one communicator per group with Comm.Split.
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+)
+
+// NetRequirement bounds the quality of the network between processes:
+// a latency ceiling and a bandwidth floor. Zero values mean "don't care".
+type NetRequirement struct {
+	MaxLatency   float64 // seconds; 0 = unconstrained
+	MinBandwidth float64 // bytes/s; 0 = unconstrained
+}
+
+// satisfiedBy reports whether a link meets the requirement.
+func (r NetRequirement) satisfiedBy(l grid.Link) bool {
+	if r.MaxLatency > 0 && l.Latency > r.MaxLatency {
+		return false
+	}
+	if r.MinBandwidth > 0 && l.Bandwidth < r.MinBandwidth {
+		return false
+	}
+	return true
+}
+
+// JobProfile is the application's resource request: the classical
+// clusters-of-clusters shape of the paper's Section III, with the
+// equal-computing-power constraint between groups.
+type JobProfile struct {
+	// Groups is the number of process groups requested; each group is
+	// placed entirely within one cluster.
+	Groups int
+	// ProcsPerGroup requests an exact group size. Zero lets the
+	// scheduler allocate as many processes as the smallest matching
+	// cluster can give (trimmed equally everywhere so groups have
+	// equivalent computing power, like the paper's half-booked nodes).
+	ProcsPerGroup int
+	// IntraGroup is the network quality required within a group.
+	IntraGroup NetRequirement
+	// InterGroup is the network quality required between any two groups.
+	InterGroup NetRequirement
+}
+
+// Allocation is the meta-scheduler's answer: a reservation (a trimmed
+// copy of the physical grid — only the matched clusters, only the booked
+// nodes) plus the group structure the middleware exposes to the
+// application.
+type Allocation struct {
+	// Reservation is the grid the job actually runs on; build the
+	// mpi.World from it.
+	Reservation *grid.Grid
+	// Clusters[gid] is the physical-grid cluster index backing group gid.
+	Clusters []int
+	groupOf  []int // rank -> group id on the reservation
+}
+
+// Groups returns the number of allocated groups.
+func (a *Allocation) Groups() int { return len(a.Clusters) }
+
+// GroupOf returns the group identifier of a reservation rank — the value
+// the QCG-OMPI runtime exposes as an MPI attribute in the paper.
+func (a *Allocation) GroupOf(rank int) int { return a.groupOf[rank] }
+
+// GroupSize returns the (uniform) number of processes per group.
+func (a *Allocation) GroupSize() int { return len(a.groupOf) / len(a.Clusters) }
+
+// Allocate plays the QosCosGrid meta-scheduler: it selects p.Groups
+// clusters of g whose internal links satisfy p.IntraGroup and whose
+// pairwise links satisfy p.InterGroup, then books the same number of
+// processes on each (the equal-computing-power constraint). It returns an
+// error when the physical grid cannot match the profile.
+func Allocate(g *grid.Grid, p JobProfile) (*Allocation, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: invalid grid: %w", err)
+	}
+	if p.Groups < 1 {
+		return nil, fmt.Errorf("topology: profile requests %d groups", p.Groups)
+	}
+	if p.Groups > len(g.Clusters) {
+		return nil, fmt.Errorf("topology: %d groups requested but the grid has %d clusters",
+			p.Groups, len(g.Clusters))
+	}
+	// Greedy cluster selection in grid order: take a cluster if its
+	// switch meets the intra-group requirement and its links to every
+	// already-selected cluster meet the inter-group requirement.
+	var chosen []int
+	for ci := range g.Clusters {
+		if !p.IntraGroup.satisfiedBy(g.Inter[ci][ci]) {
+			continue
+		}
+		ok := true
+		for _, cj := range chosen {
+			if !p.InterGroup.satisfiedBy(g.Inter[min(ci, cj)][max(ci, cj)]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		chosen = append(chosen, ci)
+		if len(chosen) == p.Groups {
+			break
+		}
+	}
+	if len(chosen) < p.Groups {
+		return nil, fmt.Errorf("topology: only %d of %d requested groups can be matched",
+			len(chosen), p.Groups)
+	}
+	// Equal computing power: book min(cluster capacity) processes per
+	// group, rounded down to whole nodes (or the exact requested size).
+	size := p.ProcsPerGroup
+	if size == 0 {
+		size = g.Clusters[chosen[0]].Procs()
+		for _, ci := range chosen[1:] {
+			if pr := g.Clusters[ci].Procs(); pr < size {
+				size = pr
+			}
+		}
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("topology: empty groups")
+	}
+	res := &grid.Grid{
+		Clusters:    make([]grid.Cluster, p.Groups),
+		Inter:       make([][]grid.Link, p.Groups),
+		IntraNode:   g.IntraNode,
+		KernelHalfN: g.KernelHalfN,
+		KernelEff:   g.KernelEff,
+	}
+	for gi, ci := range chosen {
+		c := g.Clusters[ci]
+		if c.Procs() < size {
+			return nil, fmt.Errorf("topology: cluster %s has %d processors, profile needs %d",
+				c.Name, c.Procs(), size)
+		}
+		booked := c
+		if size%c.ProcsPerNode == 0 {
+			booked.Nodes = size / c.ProcsPerNode
+		} else {
+			// Partial node: book one core per node instead, mirroring
+			// the paper's reservations that used half the cores of some
+			// machines to equalize group power.
+			if size > c.Nodes {
+				return nil, fmt.Errorf("topology: cluster %s cannot book %d equal-power processes",
+					c.Name, size)
+			}
+			booked.Nodes = size
+			booked.ProcsPerNode = 1
+		}
+		res.Clusters[gi] = booked
+	}
+	for i := range chosen {
+		res.Inter[i] = make([]grid.Link, p.Groups)
+		for j := range chosen {
+			a, b := chosen[i], chosen[j]
+			if a > b {
+				a, b = b, a
+			}
+			res.Inter[i][j] = g.Inter[a][b]
+		}
+	}
+	alloc := &Allocation{Reservation: res, Clusters: chosen}
+	alloc.groupOf = make([]int, res.Procs())
+	for r := range alloc.groupOf {
+		alloc.groupOf[r] = res.ClusterOf(r)
+	}
+	return alloc, nil
+}
+
+// GroupComm builds, collectively, one communicator per group and returns
+// this rank's — the MPI_Comm_split step of the paper's Section III. All
+// ranks of comm must call it.
+func (a *Allocation) GroupComm(comm *mpi.Comm) *mpi.Comm {
+	gid := a.GroupOf(comm.WorldRank(comm.Rank()))
+	return comm.Split(gid, comm.Rank())
+}
+
+// LeaderComm builds, collectively over comm, the communicator of group
+// leaders (the lowest rank of each group): the tree that spans
+// geographical sites. Non-leader ranks receive nil. All ranks of comm
+// must call it.
+func (a *Allocation) LeaderComm(comm *mpi.Comm) *mpi.Comm {
+	world := comm.WorldRank(comm.Rank())
+	color := -1
+	if a.isLeader(world) {
+		color = 0
+	}
+	return comm.Split(color, a.GroupOf(world))
+}
+
+func (a *Allocation) isLeader(rank int) bool {
+	gid := a.groupOf[rank]
+	for r := 0; r < rank; r++ {
+		if a.groupOf[r] == gid {
+			return false
+		}
+	}
+	return true
+}
+
+// jobProfileJSON mirrors the QosCosGrid JobProfile companion file the
+// paper describes: process groups plus network requirements between and
+// within them, in milliseconds and Mb/s like the platform files.
+type jobProfileJSON struct {
+	Groups        int     `json:"groups"`
+	ProcsPerGroup int     `json:"procsPerGroup,omitempty"`
+	IntraGroup    *netReq `json:"intraGroup,omitempty"`
+	InterGroup    *netReq `json:"interGroup,omitempty"`
+}
+
+type netReq struct {
+	MaxLatencyMs float64 `json:"maxLatencyMs,omitempty"`
+	MinMbps      float64 `json:"minMbps,omitempty"`
+}
+
+// ProfileFromJSON parses a JobProfile description, the file the
+// application hands to the meta-scheduler in the paper's workflow.
+func ProfileFromJSON(r io.Reader) (JobProfile, error) {
+	var jp jobProfileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jp); err != nil {
+		return JobProfile{}, fmt.Errorf("topology: %w", err)
+	}
+	p := JobProfile{Groups: jp.Groups, ProcsPerGroup: jp.ProcsPerGroup}
+	if jp.IntraGroup != nil {
+		p.IntraGroup = NetRequirement{
+			MaxLatency:   jp.IntraGroup.MaxLatencyMs * 1e-3,
+			MinBandwidth: jp.IntraGroup.MinMbps * 1e6 / 8,
+		}
+	}
+	if jp.InterGroup != nil {
+		p.InterGroup = NetRequirement{
+			MaxLatency:   jp.InterGroup.MaxLatencyMs * 1e-3,
+			MinBandwidth: jp.InterGroup.MinMbps * 1e6 / 8,
+		}
+	}
+	if p.Groups < 1 {
+		return JobProfile{}, fmt.Errorf("topology: profile must request at least one group")
+	}
+	return p, nil
+}

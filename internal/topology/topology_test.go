@@ -1,0 +1,257 @@
+package topology
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+)
+
+func TestAllocateGrid5000AllSites(t *testing.T) {
+	g := grid.Grid5000()
+	alloc, err := Allocate(g, JobProfile{Groups: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Groups() != 4 {
+		t.Fatalf("groups = %d", alloc.Groups())
+	}
+	if alloc.Reservation.Procs() != 256 {
+		t.Fatalf("reservation procs = %d want 256", alloc.Reservation.Procs())
+	}
+	if alloc.GroupSize() != 64 {
+		t.Fatalf("group size = %d want 64", alloc.GroupSize())
+	}
+	// Ranks 0..63 in group 0, 64..127 in group 1, ...
+	for r := 0; r < 256; r++ {
+		if alloc.GroupOf(r) != r/64 {
+			t.Fatalf("GroupOf(%d) = %d", r, alloc.GroupOf(r))
+		}
+	}
+}
+
+func TestAllocateSubset(t *testing.T) {
+	g := grid.Grid5000()
+	alloc, err := Allocate(g, JobProfile{Groups: 2, ProcsPerGroup: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Reservation.Procs() != 32 {
+		t.Fatalf("procs = %d want 32", alloc.Reservation.Procs())
+	}
+	if alloc.Reservation.Clusters[0].Nodes != 8 {
+		t.Fatalf("booked nodes = %d want 8", alloc.Reservation.Clusters[0].Nodes)
+	}
+	if err := alloc.Reservation.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateEqualizesHeterogeneousClusters(t *testing.T) {
+	g := grid.SmallTestGrid(3, 4, 2)
+	g.Clusters[1].Nodes = 2 // smallest cluster: 4 procs
+	alloc, err := Allocate(g, JobProfile{Groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.GroupSize() != 4 {
+		t.Fatalf("group size = %d want 4 (equal power = min cluster)", alloc.GroupSize())
+	}
+	for _, c := range alloc.Reservation.Clusters {
+		if c.Procs() != 4 {
+			t.Fatalf("cluster %s booked %d procs", c.Name, c.Procs())
+		}
+	}
+}
+
+func TestAllocateOddSizeBooksWholeNodesPartially(t *testing.T) {
+	// Request 3 procs per group on dual-proc nodes: the scheduler must
+	// book one core per node (paper's half-booked machines).
+	g := grid.SmallTestGrid(2, 4, 2)
+	alloc, err := Allocate(g, JobProfile{Groups: 2, ProcsPerGroup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := alloc.Reservation.Clusters[0]
+	if c.Procs() != 3 || c.ProcsPerNode != 1 {
+		t.Fatalf("booked %d procs, %d per node", c.Procs(), c.ProcsPerNode)
+	}
+}
+
+func TestAllocateRejectsImpossible(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	if _, err := Allocate(g, JobProfile{Groups: 3}); err == nil {
+		t.Fatal("3 groups on 2 clusters must fail")
+	}
+	if _, err := Allocate(g, JobProfile{Groups: 2, ProcsPerGroup: 100}); err == nil {
+		t.Fatal("oversubscription must fail")
+	}
+	if _, err := Allocate(g, JobProfile{Groups: 0}); err == nil {
+		t.Fatal("zero groups must fail")
+	}
+}
+
+func TestAllocateNetworkRequirements(t *testing.T) {
+	g := grid.SmallTestGrid(3, 2, 2)
+	// Make cluster 1's switch too slow for the intra-group requirement.
+	g.Inter[1][1].Latency = 10e-3
+	alloc, err := Allocate(g, JobProfile{
+		Groups:     2,
+		IntraGroup: NetRequirement{MaxLatency: 1e-3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Clusters[0] != 0 || alloc.Clusters[1] != 2 {
+		t.Fatalf("scheduler picked clusters %v, want [0 2]", alloc.Clusters)
+	}
+	// Now demand impossible inter-group bandwidth.
+	_, err = Allocate(g, JobProfile{
+		Groups:     2,
+		InterGroup: NetRequirement{MinBandwidth: 1e12},
+	})
+	if err == nil {
+		t.Fatal("unsatisfiable inter-group requirement must fail")
+	}
+}
+
+func TestAllocateIntraGroupBandwidthFloor(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	_, err := Allocate(g, JobProfile{Groups: 2, IntraGroup: NetRequirement{MinBandwidth: 1e18}})
+	if err == nil {
+		t.Fatal("unsatisfiable intra-group bandwidth must fail")
+	}
+}
+
+func TestGroupCommConfinesTraffic(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	alloc, err := Allocate(g, JobProfile{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(alloc.Reservation)
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		gc := alloc.GroupComm(comm)
+		if gc.Size() != 4 {
+			t.Errorf("group comm size %d", gc.Size())
+		}
+		out := gc.Allreduce([]float64{float64(ctx.Rank())}, mpi.OpSum)
+		want := 0.0 + 1 + 2 + 3
+		if alloc.GroupOf(ctx.Rank()) == 1 {
+			want = 4.0 + 5 + 6 + 7
+		}
+		if out[0] != want {
+			t.Errorf("rank %d group sum %v want %g", ctx.Rank(), out, want)
+		}
+	})
+	w.ResetCounters()
+	// A second world run of only group traffic must use no inter-cluster
+	// links at all.
+	w2 := mpi.NewWorld(alloc.Reservation)
+	w2.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		gc := comm.Sub(groupMembers(alloc, ctx.Rank()), "grp")
+		gc.Allreduce([]float64{1}, mpi.OpSum)
+	})
+	if w2.Counters().Inter().Msgs != 0 {
+		t.Fatalf("group traffic leaked %d inter-cluster messages", w2.Counters().Inter().Msgs)
+	}
+}
+
+func groupMembers(a *Allocation, rank int) []int {
+	gid := a.GroupOf(rank)
+	var m []int
+	for r := 0; r < a.Reservation.Procs(); r++ {
+		if a.GroupOf(r) == gid {
+			m = append(m, r)
+		}
+	}
+	return m
+}
+
+func TestLeaderComm(t *testing.T) {
+	g := grid.SmallTestGrid(3, 2, 2)
+	alloc, err := Allocate(g, JobProfile{Groups: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mpi.NewWorld(alloc.Reservation)
+	var leaders atomic.Int32
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		lc := alloc.LeaderComm(comm)
+		if lc == nil {
+			return
+		}
+		leaders.Add(1)
+		if lc.Size() != 3 {
+			t.Errorf("leader comm size %d", lc.Size())
+		}
+		// Leaders are the first rank of each group: 0, 4, 8.
+		if wr := ctx.Rank(); wr != 0 && wr != 4 && wr != 8 {
+			t.Errorf("rank %d should not be a leader", wr)
+		}
+	})
+	if leaders.Load() != 3 {
+		t.Fatalf("%d leaders want 3", leaders.Load())
+	}
+}
+
+func TestProfileFromJSON(t *testing.T) {
+	in := `{
+  "groups": 4,
+  "procsPerGroup": 64,
+  "intraGroup": {"maxLatencyMs": 0.1, "minMbps": 800},
+  "interGroup": {"maxLatencyMs": 10}
+}`
+	p, err := ProfileFromJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Groups != 4 || p.ProcsPerGroup != 64 {
+		t.Fatalf("profile = %+v", p)
+	}
+	if p.IntraGroup.MaxLatency != 1e-4 || p.IntraGroup.MinBandwidth != 1e8 {
+		t.Fatalf("intra = %+v", p.IntraGroup)
+	}
+	if p.InterGroup.MinBandwidth != 0 {
+		t.Fatal("unset bandwidth floor must be 0 (don't care)")
+	}
+	// The parsed profile must drive the scheduler end to end.
+	alloc, err := Allocate(grid.Grid5000(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.Reservation.Procs() != 256 {
+		t.Fatalf("procs = %d", alloc.Reservation.Procs())
+	}
+}
+
+func TestProfileFromJSONErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad json":   `{`,
+		"no groups":  `{"procsPerGroup": 4}`,
+		"unknown":    `{"groups": 1, "wat": 2}`,
+		"zero group": `{"groups": 0}`,
+	} {
+		if _, err := ProfileFromJSON(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestAllocatePreservesKernelModel(t *testing.T) {
+	g := grid.Grid5000()
+	alloc, err := Allocate(g, JobProfile{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := alloc.Reservation
+	if r.KernelHalfN != g.KernelHalfN || r.KernelEff != g.KernelEff {
+		t.Fatalf("kernel model dropped: %g/%g vs %g/%g",
+			r.KernelHalfN, r.KernelEff, g.KernelHalfN, g.KernelEff)
+	}
+}
