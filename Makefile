@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check check fuzz bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runtime (incl. fault injection) and the TSQR/FT-TSQR paths must be
+# race-clean; short mode keeps this fast enough for every commit.
+race:
+	$(GO) test -race -short ./internal/mpi ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt-check test race
+
+fuzz:
+	$(GO) test -fuzz=FuzzHouseholderQR -fuzztime=15s ./internal/lapack
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gridbench [-fig all|3|4|5|6|7|8|table1|table2|messages] [-quick]
+//	gridbench [-fig all|3|4|5|6|7|8|table1|table2|messages|faults|...] [-quick] [-faults]
 //
 // The output is one text table per figure panel: the simulator's Gflop/s
 // next to the Section IV model prediction for every point the paper
@@ -24,11 +24,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,7,8,table1,table2,messages,breakdown,ablation,trace,weak,straggler,model,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,7,8,table1,table2,messages,breakdown,ablation,trace,weak,straggler,faults,model,all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+	faults := flag.Bool("faults", false, "run only the FT-TSQR resilience table (fault-injection sweep); same as -fig faults")
 	platform := flag.String("platform", "", "JSON platform file (default: the paper's Grid'5000)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
 	flag.Parse()
+	if *faults {
+		*fig = "faults"
+	}
 
 	g := grid.Grid5000()
 	if *platform != "" {
@@ -92,6 +96,11 @@ func main() {
 		if m, ok := bench.CrossoverM(g, bench.TSQR, 64, 1<<14, 1<<22); ok {
 			fmt.Printf("TSQR:      all sites beat one site from M ≈ %d (paper: ≈ 5·10⁵)\n\n", m)
 		}
+	}
+	if want("faults") {
+		ran = true
+		m, n := 4096, 32
+		fmt.Println(bench.FormatResilience(g, m, n, bench.ResilienceStudy(g, m, n, 13)))
 	}
 	if want("straggler") {
 		ran = true

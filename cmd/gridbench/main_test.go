@@ -30,6 +30,7 @@ func TestGridbenchFigures(t *testing.T) {
 		{"table1", "TSQR"},
 		{"messages", "provable minimum"},
 		{"ablation", "binary-shuffled"},
+		{"faults", "kill-coordinator"},
 	} {
 		out, err := exec.Command(bin, "-fig", tc.fig).CombinedOutput()
 		if err != nil {

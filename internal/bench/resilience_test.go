@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+)
+
+func TestResilienceStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill scenarios wait out recv timeouts; skipped in -short mode")
+	}
+	g := grid.Grid5000()
+	rows := ResilienceStudy(g, 512, 8, 13)
+	byName := map[string]ResilienceRow{}
+	for _, r := range rows {
+		byName[r.Plan] = r
+	}
+	if len(rows) != len(resilienceScenarios()) {
+		t.Fatalf("rows = %d, want one per scenario", len(rows))
+	}
+	if r := byName["none"]; r.Outcome != "ok" || r.Epochs != 1 || r.Faults != (mpi.FaultCounts{}) {
+		t.Fatalf("fault-free row broken: %+v", r)
+	}
+	if r := byName["kill-one"]; r.Outcome != "ok" || r.Epochs != 2 || r.Dead != 1 {
+		t.Fatalf("kill-one must recover in one extra epoch: %+v", r)
+	}
+	if r := byName["kill-coordinator"]; r.Outcome == "ok" {
+		t.Fatalf("kill-coordinator cannot succeed: %+v", r)
+	}
+	for _, r := range rows {
+		if r.Outcome != "ok" {
+			continue
+		}
+		if r.Residual > 1e-12 || r.Ortho > 1e-12 {
+			t.Fatalf("%s: success outside ε-level bounds: %+v", r.Plan, r)
+		}
+	}
+	if s := FormatResilience(g, 512, 8, rows); len(s) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -85,6 +85,20 @@ type Config struct {
 	KeepFactors bool
 	// ShuffleSeed seeds TreeBinaryShuffled's permutation.
 	ShuffleSeed int64
+	// FT configures fault-tolerant execution (FactorizeFT).
+	FT FTOptions
+}
+
+// FTOptions controls fault-tolerant TSQR.
+type FTOptions struct {
+	// Enabled turns recovery on: on a partner failure the survivors
+	// re-form the reduction tree over the live set and redo only the
+	// lost combines. Off, FactorizeFT degenerates to plain Factorize.
+	Enabled bool
+	// MaxFailures is the degraded-mode threshold: when more than this
+	// many ranks are reported dead the factorization aborts with a typed
+	// FTError instead of recovering. 0 means (P−1)/2.
+	MaxFailures int
 }
 
 // Input is one process's share of the global matrix, in the same

@@ -26,6 +26,12 @@ type Cluster struct {
 	Nodes        int
 	ProcsPerNode int
 	Gflops       float64 // per-processor practical peak, in Gflop/s
+	// FailureRate is the per-processor failure rate in failures per
+	// second (0 = never fails). Production clusters report node MTBFs on
+	// the order of months, i.e. rates around 1e-7–1e-6 /s; the fault
+	// simulator (mpi.PlanFromFailureRates) converts this into per-run
+	// death probabilities over a time horizon.
+	FailureRate float64
 }
 
 // Procs returns the number of processors (MPI processes — the paper runs
@@ -197,6 +203,9 @@ func (g *Grid) Validate() error {
 	for _, c := range g.Clusters {
 		if c.Nodes <= 0 || c.ProcsPerNode <= 0 || c.Gflops <= 0 {
 			return fmt.Errorf("grid: invalid cluster %q", c.Name)
+		}
+		if c.FailureRate < 0 {
+			return fmt.Errorf("grid: negative failure rate on cluster %q", c.Name)
 		}
 	}
 	if g.IntraNode.Latency <= 0 || g.IntraNode.Bandwidth <= 0 {

@@ -50,7 +50,11 @@ func Grid5000() *Grid {
 		KernelEff:   0.55,
 	}
 	for i := range g.Clusters {
-		g.Clusters[i] = Cluster{Name: names[i], Nodes: 32, ProcsPerNode: 2, Gflops: 3.67}
+		// FailureRate ≈ one failure per node-year per processor — the
+		// order of magnitude Grid'5000 operators report for commodity
+		// cluster nodes.
+		g.Clusters[i] = Cluster{Name: names[i], Nodes: 32, ProcsPerNode: 2, Gflops: 3.67,
+			FailureRate: 3e-8}
 	}
 	for i := 0; i < 4; i++ {
 		g.Inter[i] = make([]Link, 4)

@@ -31,6 +31,8 @@ type jsonCluster struct {
 	// Intra-cluster switch parameters.
 	LatencyMs float64 `json:"latencyMs"`
 	Mbps      float64 `json:"mbps"`
+	// Per-processor failure rate in failures per second (optional).
+	FailureRate float64 `json:"failureRate,omitempty"`
 }
 
 type jsonLink struct {
@@ -78,7 +80,8 @@ func FromJSON(r io.Reader) (*Grid, error) {
 			return nil, fmt.Errorf("grid: duplicate cluster %q", c.Name)
 		}
 		index[c.Name] = i
-		g.Clusters[i] = Cluster{Name: c.Name, Nodes: c.Nodes, ProcsPerNode: c.ProcsPerNode, Gflops: c.Gflops}
+		g.Clusters[i] = Cluster{Name: c.Name, Nodes: c.Nodes, ProcsPerNode: c.ProcsPerNode,
+			Gflops: c.Gflops, FailureRate: c.FailureRate}
 		g.Inter[i] = make([]Link, n)
 		g.Inter[i][i] = Link{Latency: c.LatencyMs * ms, Bandwidth: c.Mbps * mbps}
 	}
@@ -135,6 +138,7 @@ func (g *Grid) ToJSON(w io.Writer) error {
 		jg.Clusters = append(jg.Clusters, jsonCluster{
 			Name: c.Name, Nodes: c.Nodes, ProcsPerNode: c.ProcsPerNode, Gflops: c.Gflops,
 			LatencyMs: g.Inter[i][i].Latency / ms, Mbps: g.Inter[i][i].Bandwidth / mbps,
+			FailureRate: c.FailureRate,
 		})
 	}
 	for i := range g.Clusters {

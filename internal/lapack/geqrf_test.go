@@ -7,6 +7,7 @@ import (
 
 	"gridqr/internal/blas"
 	"gridqr/internal/matrix"
+	"gridqr/internal/testmat"
 )
 
 const tol = 1e-13
@@ -103,11 +104,7 @@ func TestDgeqr2SingleRow(t *testing.T) {
 
 func TestDgeqr2RankDeficient(t *testing.T) {
 	// Two identical columns: still must produce a valid factorization.
-	a := matrix.Random(20, 1, 5)
-	aa := matrix.New(20, 2)
-	matrix.Copy(aa.View(0, 0, 20, 1), a)
-	matrix.Copy(aa.View(0, 1, 20, 1), a)
-	qrCheck(t, aa, Dgeqr2)
+	qrCheck(t, testmat.RankDeficient(20, 2, 5), Dgeqr2)
 }
 
 func TestDgeqr2ZeroMatrix(t *testing.T) {
@@ -282,8 +279,21 @@ func TestNormalizeRSigns(t *testing.T) {
 
 func TestQRIllConditioned(t *testing.T) {
 	// Householder QR must stay backward stable at condition 1e12.
-	a := matrix.WithCondition(100, 10, 1e12, 17)
+	a := testmat.Conditioned(100, 10, 1e12, 17)
 	qrCheck(t, a, func(f *matrix.Dense, tau []float64) { Dgeqrf(f, tau, 4) })
+}
+
+// TestQRPropertySuite sweeps every shared input class over both the
+// unblocked and blocked factorizations: orthogonality and reconstruction
+// must hold for graded, extreme-scale and rank-deficient inputs alike.
+func TestQRPropertySuite(t *testing.T) {
+	for _, tc := range testmat.Suite() {
+		t.Run(tc.Name, func(t *testing.T) {
+			a := tc.Gen(60, 8, 21)
+			qrCheck(t, a, Dgeqr2)
+			qrCheck(t, a, func(f *matrix.Dense, tau []float64) { Dgeqrf(f, tau, 4) })
+		})
+	}
 }
 
 // Property: for random TS matrices, |det-ish| invariants — the diagonal of

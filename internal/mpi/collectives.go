@@ -4,6 +4,11 @@ package mpi
 // p−1 edges, so a reduce or broadcast costs log₂(P) messages on the
 // critical path — the term the paper's Table I/II model counts per
 // allreduce.
+//
+// Each collective exists in two forms: the legacy panicking form used by
+// fault-oblivious code, and a Try form returning a typed error
+// (*RankFailedError or *TimeoutError) when the fault plan makes a tree
+// partner unreachable. Without a fault plan the Try forms never fail.
 
 // Op combines src into dst elementwise (dst is the accumulator).
 type Op func(dst, src []float64)
@@ -40,15 +45,27 @@ func absRank(rel, root, n int) int  { return (rel + root) % n }
 // passes a slice of equal length; non-root contents are overwritten.
 // The slice is returned for convenience.
 func (c *Comm) Bcast(root int, data []float64) []float64 {
+	out, err := c.TryBcast(root, data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryBcast is Bcast with a typed error when a tree partner is dead.
+func (c *Comm) TryBcast(root int, data []float64) ([]float64, error) {
 	n := c.Size()
 	if n == 1 {
-		return data
+		return data, nil
 	}
 	me := relRank(c.rank, root, n)
 	// Receive from parent: clear lowest set bit.
 	if me != 0 {
 		parent := me & (me - 1)
-		got := c.Recv(absRank(parent, root, n), bcastTag)
+		got, err := c.tryRecvRaw(absRank(parent, root, n), bcastTag)
+		if err != nil {
+			return nil, err
+		}
 		copy(data, got)
 	}
 	// Forward to children: set each bit above my lowest set bit while in
@@ -60,10 +77,12 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 		}
 		child := me | mask
 		if child < n {
-			c.Send(absRank(child, root, n), data, bcastTag)
+			if err := c.trySendRaw(absRank(child, root, n), data, bcastTag); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return data
+	return data, nil
 }
 
 // Reduce combines every rank's data with op down a binomial tree; the
@@ -71,18 +90,32 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 // The caller's data slice is never mutated, but ownership of it passes to
 // the collective (it may be forwarded by reference).
 func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	out, err := c.TryReduce(root, data, op)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryReduce is Reduce with a typed error when a tree partner is dead.
+func (c *Comm) TryReduce(root int, data []float64, op Op) ([]float64, error) {
 	n := c.Size()
 	me := relRank(c.rank, root, n)
 	acc := data
 	for mask := 1; mask < n; mask <<= 1 {
 		if me&mask != 0 {
 			parent := me &^ mask
-			c.Send(absRank(parent, root, n), acc, reduceTag)
-			return nil
+			if err := c.trySendRaw(absRank(parent, root, n), acc, reduceTag); err != nil {
+				return nil, err
+			}
+			return nil, nil
 		}
 		child := me | mask
 		if child < n {
-			got := c.Recv(absRank(child, root, n), reduceTag)
+			got, err := c.tryRecvRaw(absRank(child, root, n), reduceTag)
+			if err != nil {
+				return nil, err
+			}
 			// Accumulate into a private copy the first time so the
 			// caller's slice is never mutated.
 			if len(acc) > 0 && &acc[0] == &data[0] {
@@ -91,7 +124,7 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 			op(acc, got)
 		}
 	}
-	return acc
+	return acc, nil
 }
 
 // Allreduce reduces to comm rank 0 and broadcasts back, returning the
@@ -99,11 +132,24 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 // structure of the paper's Section II-C; cost 2·log₂(P) messages on the
 // critical path.
 func (c *Comm) Allreduce(data []float64, op Op) []float64 {
-	out := c.Reduce(0, data, op)
+	out, err := c.TryAllreduce(data, op)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryAllreduce is Allreduce with a typed error when a tree partner is
+// dead.
+func (c *Comm) TryAllreduce(data []float64, op Op) ([]float64, error) {
+	out, err := c.TryReduce(0, data, op)
+	if err != nil {
+		return nil, err
+	}
 	if c.rank != 0 {
 		out = make([]float64, len(data))
 	}
-	return c.Bcast(0, out)
+	return c.TryBcast(0, out)
 }
 
 // Barrier blocks until every rank of the communicator has entered it; in
@@ -120,10 +166,19 @@ func (c *Comm) Barrier() {
 // Gather collects every rank's equal-length vector on root, concatenated
 // in comm-rank order. Returns nil on non-root ranks.
 func (c *Comm) Gather(root int, data []float64) []float64 {
+	out, err := c.TryGather(root, data)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryGather is Gather with a typed error when a contributing rank is
+// dead.
+func (c *Comm) TryGather(root int, data []float64) ([]float64, error) {
 	n := c.Size()
 	if c.rank != root {
-		c.Send(root, data, gatherTag)
-		return nil
+		return nil, c.trySendRaw(root, data, gatherTag)
 	}
 	out := make([]float64, len(data)*n)
 	copy(out[c.rank*len(data):], data)
@@ -131,10 +186,13 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 		if r == root {
 			continue
 		}
-		got := c.Recv(r, gatherTag)
+		got, err := c.tryRecvRaw(r, gatherTag)
+		if err != nil {
+			return nil, err
+		}
 		copy(out[r*len(data):], got)
 	}
-	return out
+	return out, nil
 }
 
 // Allgather collects every rank's equal-length vector on every rank,
@@ -162,11 +220,11 @@ func (c *Comm) Scatter(root int, data []float64, chunk int) []float64 {
 			if r == root {
 				continue
 			}
-			c.Send(r, data[r*chunk:(r+1)*chunk], scatterTag)
+			c.sendRaw(r, data[r*chunk:(r+1)*chunk], scatterTag)
 		}
 		out := make([]float64, chunk)
 		copy(out, data[root*chunk:(root+1)*chunk])
 		return out
 	}
-	return c.Recv(root, scatterTag)
+	return c.recvRaw(root, scatterTag)
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Comm is a communicator: an ordered group of world ranks with its own
@@ -41,23 +42,101 @@ func (c *Comm) Ctx() *Ctx { return c.ctx }
 // WorldRank translates a comm rank to a world rank.
 func (c *Comm) WorldRank(r int) int { return c.members[r] }
 
-// Send transmits data to comm rank `to` with the given tag. The payload
-// slice must not be mutated afterwards (messages are not copied).
+// checkTag rejects negative user tags: tags < 0 are reserved for the
+// communicator's own collective traffic, and a user message carrying one
+// could cross-match a collective's.
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: user tag %d is invalid: tags must be >= 0 (negative tags are reserved for collectives)", tag))
+	}
+}
+
+// Send transmits data to comm rank `to` with the given tag (which must be
+// >= 0). The payload slice must not be mutated afterwards (messages are
+// not copied).
 func (c *Comm) Send(to int, data []float64, tag int) {
-	c.ctx.send(c.members[to], c.path, tag, data, 8*float64(len(data)))
+	c.checkTag(tag)
+	c.sendRaw(to, data, tag)
 }
 
 // SendBytes transmits a data-less message that is priced and counted as
 // `bytes` bytes; cost-only algorithms use it where the real payload would
 // be a matrix that was never materialized.
 func (c *Comm) SendBytes(to int, bytes float64, tag int) {
-	c.ctx.send(c.members[to], c.path, tag, nil, bytes)
+	c.checkTag(tag)
+	if err := c.ctx.sendE(c.members[to], c.path, tag, nil, bytes); err != nil {
+		panic(err)
+	}
+}
+
+// TrySendBytes is SendBytes with an error return instead of a panic when
+// the fault plan makes the destination unreachable.
+func (c *Comm) TrySendBytes(to int, bytes float64, tag int) error {
+	c.checkTag(tag)
+	return c.ctx.sendE(c.members[to], c.path, tag, nil, bytes)
 }
 
 // Recv blocks until the matching message from comm rank `from` arrives
 // and returns its payload (nil for SendBytes messages).
 func (c *Comm) Recv(from, tag int) []float64 {
-	return c.ctx.recv(c.members[from], c.path, tag).data
+	c.checkTag(tag)
+	return c.recvRaw(from, tag)
+}
+
+// TrySend is Send with an error return: a *RankFailedError when every
+// delivery attempt was dropped by the fault plan. Without a fault plan it
+// never fails.
+func (c *Comm) TrySend(to int, data []float64, tag int) error {
+	c.checkTag(tag)
+	return c.trySendRaw(to, data, tag)
+}
+
+// TryRecv is Recv with an error return: a *RankFailedError when the
+// sender died before sending the matching message, or a *TimeoutError
+// when the plan's RecvTimeout expired first. Without a fault plan it
+// never fails.
+func (c *Comm) TryRecv(from, tag int) ([]float64, error) {
+	c.checkTag(tag)
+	return c.tryRecvRaw(from, tag)
+}
+
+// RecvTimeout is TryRecv with an explicit wall-clock timeout overriding
+// the plan's RecvTimeout (it is honoured even without a fault plan).
+func (c *Comm) RecvTimeout(from, tag int, timeout time.Duration) ([]float64, error) {
+	c.checkTag(tag)
+	m, err := c.ctx.recvE(c.members[from], c.path, tag, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return m.data, nil
+}
+
+// sendRaw / recvRaw bypass tag validation for the communicator's own
+// collective traffic on reserved negative tags.
+func (c *Comm) sendRaw(to int, data []float64, tag int) {
+	if err := c.trySendRaw(to, data, tag); err != nil {
+		panic(err)
+	}
+}
+
+func (c *Comm) recvRaw(from, tag int) []float64 {
+	data, err := c.tryRecvRaw(from, tag)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+func (c *Comm) trySendRaw(to int, data []float64, tag int) error {
+	return c.ctx.sendE(c.members[to], c.path, tag, data, 8*float64(len(data)))
+}
+
+func (c *Comm) tryRecvRaw(from, tag int) ([]float64, error) {
+	m, err := c.ctx.recvE(c.members[from], c.path, tag, 0)
+	if err != nil {
+		return nil, err
+	}
+	return m.data, nil
 }
 
 // Sub creates a sub-communicator from an explicit member list (comm
@@ -100,15 +179,15 @@ func (c *Comm) Split(color, key int) *Comm {
 	pairs[2*c.rank+1] = float64(key)
 	if c.rank == 0 {
 		for r := 1; r < n; r++ {
-			got := c.Recv(r, splitTag)
+			got := c.recvRaw(r, splitTag)
 			pairs[2*r], pairs[2*r+1] = got[0], got[1]
 		}
 		for r := 1; r < n; r++ {
-			c.Send(r, pairs, splitTag)
+			c.sendRaw(r, pairs, splitTag)
 		}
 	} else {
-		c.Send(0, []float64{float64(color), float64(key)}, splitTag)
-		pairs = c.Recv(0, splitTag)
+		c.sendRaw(0, []float64{float64(color), float64(key)}, splitTag)
+		pairs = c.recvRaw(0, splitTag)
 	}
 	if color < 0 {
 		return nil

@@ -45,12 +45,28 @@ func (c *Ctx) Now() float64 {
 	return time.Since(c.world.start).Seconds()
 }
 
+// maybeDie kills this rank when the fault plan says its time has come: a
+// killSentinel panic unwinds the goroutine and World.Run records the
+// death. Operation counts are per-rank program points, so the death site
+// is identical across runs.
+func (c *Ctx) maybeDie() {
+	plan := c.world.plan
+	if plan == nil {
+		return
+	}
+	if k, ok := plan.killAt[c.rank]; ok && c.world.fstate[c.rank].ops >= k {
+		panic(killSentinel{rank: c.rank})
+	}
+}
+
 // Charge accounts for flopCount floating-point operations of a kernel
 // whose innermost dimension is panelN (which selects the kernel
 // efficiency per the grid's saturating-rate model). In virtual mode the
 // rank's clock advances; in real mode the charge only feeds the flop
 // counter, since the caller does the arithmetic for real.
 func (c *Ctx) Charge(flopCount float64, panelN int) {
+	c.maybeDie()
+	c.world.fstate[c.rank].ops++
 	c.world.counters.addFlops(flopCount)
 	if !c.world.virtual {
 		return
@@ -71,36 +87,143 @@ func (c *Ctx) Sleep(seconds float64) {
 	}
 }
 
-// send is the single point every transfer goes through: it prices the
-// message on the link between the two ranks, counts it, and enqueues it.
+// send is the legacy single point every transfer goes through; it panics
+// on a fault-induced failure, which can only happen when a FaultPlan is
+// armed (fault-aware algorithms use sendE through the Try APIs instead).
 func (c *Ctx) send(to int, comm string, tag int, data []float64, bytes float64) {
+	if err := c.sendE(to, comm, tag, data, bytes); err != nil {
+		panic(err)
+	}
+}
+
+// sendE prices the message on the link between the two ranks, counts it,
+// applies the fault plan (extra delay, dropped delivery attempts with
+// bounded retry-and-backoff), and enqueues it. It returns a typed
+// RankFailedError when every delivery attempt was dropped. Sends to a
+// dead rank succeed silently — the transport is one-sided and eager, so
+// only receivers observe peer death; this also keeps every send outcome
+// independent of goroutine scheduling.
+func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64) error {
+	c.maybeDie()
 	if to < 0 || to >= c.world.n {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
 	}
 	if to == c.rank {
 		panic("mpi: send to self (algorithms must special-case self-messages)")
 	}
+	st := c.world.fstate[c.rank]
+	st.ops++
 	link, class := c.world.g.LinkBetween(c.rank, to)
+	var extra float64 // fault-induced seconds on top of the link cost
+	if plan := c.world.plan; plan != nil {
+		for ri := range plan.rules {
+			r := &plan.rules[ri]
+			if r.Kind != FaultDelay || !r.matches(c.rank, to, tag) {
+				continue
+			}
+			if r.Count > 0 && st.fires[ri] >= r.Count {
+				continue
+			}
+			st.decisions++
+			if faultUniform(plan.Seed, c.rank, to, tag, st.decisions) < r.Prob {
+				st.fires[ri]++
+				extra += r.Delay
+				c.noteFault(FaultDelay, to, class)
+			}
+		}
+		for attempt := 1; ; attempt++ {
+			dropped := false
+			for ri := range plan.rules {
+				r := &plan.rules[ri]
+				if r.Kind != FaultDrop || !r.matches(c.rank, to, tag) {
+					continue
+				}
+				if r.Count > 0 && st.fires[ri] >= r.Count {
+					continue
+				}
+				st.decisions++
+				if faultUniform(plan.Seed, c.rank, to, tag, st.decisions) < r.Prob {
+					st.fires[ri]++
+					dropped = true
+					c.noteFault(FaultDrop, to, class)
+					break
+				}
+			}
+			if !dropped {
+				break
+			}
+			if attempt >= plan.MaxRetries {
+				return &RankFailedError{Rank: to, Op: "send"}
+			}
+			extra += plan.RetryBackoff * float64(attempt)
+		}
+	}
 	c.world.counters.record(class, bytes)
 	m := message{from: c.rank, comm: comm, tag: tag, data: data, bytes: bytes, class: int(class)}
 	if c.world.virtual {
 		now := c.world.clocks[c.rank]
-		m.arrival = now + link.TransferTime(bytes)
+		m.arrival = now + extra + link.TransferTime(bytes)
 		c.world.recordEvent(Event{Rank: c.rank, Kind: EventSend, Start: now, End: now,
 			Peer: to, Bytes: bytes, Class: class})
+	} else if extra > 0 {
+		time.Sleep(time.Duration(extra * float64(time.Second)))
 	}
 	c.world.boxes[to].put(m)
+	return nil
 }
 
-// recv blocks for the matching message and, in virtual mode, advances the
-// local clock to its arrival time, attributing the idle gap to the link
-// class the message traversed (the per-class wait breakdown of
-// World.Breakdown).
+// noteFault tallies one injected fault and, in a traced virtual world,
+// records it on the timeline.
+func (c *Ctx) noteFault(kind FaultKind, peer int, class grid.LinkClass) {
+	c.world.faultMu.Lock()
+	if kind == FaultDrop {
+		c.world.faultCounts.Drops++
+	} else {
+		c.world.faultCounts.Delays++
+	}
+	c.world.faultMu.Unlock()
+	if c.world.virtual {
+		now := c.world.clocks[c.rank]
+		c.world.recordEvent(Event{Rank: c.rank, Kind: EventFault, Start: now, End: now,
+			Peer: peer, Class: class})
+	}
+}
+
+// recv blocks for the matching message; it panics on a fault-induced
+// failure (fault-aware algorithms use recvE through the Try APIs).
 func (c *Ctx) recv(from int, comm string, tag int) message {
+	m, err := c.recvE(from, comm, tag, 0)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// recvE blocks for the matching message and, in virtual mode, advances
+// the local clock to its arrival time, attributing the idle gap to the
+// link class the message traversed (the per-class wait breakdown of
+// World.Breakdown). With a fault plan armed, a receive from a dead rank
+// whose matching message was never sent returns a typed RankFailedError;
+// messages already in flight when the sender died are still delivered. A
+// positive timeout (explicit, or the plan's RecvTimeout default when 0 is
+// passed) bounds the wall-clock wait.
+func (c *Ctx) recvE(from int, comm string, tag int, timeout time.Duration) (message, error) {
+	c.maybeDie()
 	if from < 0 || from >= c.world.n {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", from))
 	}
-	m := c.world.boxes[c.rank].take(from, comm, tag)
+	c.world.fstate[c.rank].ops++
+	var isDead func() bool
+	if c.world.plan != nil {
+		isDead = func() bool { return c.world.dead[from].Load() }
+		if timeout <= 0 {
+			timeout = c.world.plan.RecvTimeout
+		}
+	}
+	m, err := c.world.boxes[c.rank].takeWait(from, comm, tag, isDead, timeout)
+	if err != nil {
+		return message{}, err
+	}
 	if c.world.virtual && m.arrival > c.world.clocks[c.rank] {
 		start := c.world.clocks[c.rank]
 		c.world.wait[c.rank][m.class] += m.arrival - start
@@ -108,5 +231,5 @@ func (c *Ctx) recv(from int, comm string, tag int) message {
 		c.world.recordEvent(Event{Rank: c.rank, Kind: EventWait, Start: start, End: m.arrival,
 			Peer: from, Bytes: m.bytes, Class: grid.LinkClass(m.class)})
 	}
-	return m
+	return m, nil
 }

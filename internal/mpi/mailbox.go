@@ -1,6 +1,9 @@
 package mpi
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // message is one tagged point-to-point transfer. comm scopes tags to a
 // communicator so traffic on different communicators can never
@@ -42,8 +45,34 @@ func (b *mailbox) put(m message) {
 // removes it from the queue. It panics if the mailbox is poisoned (a
 // sibling rank crashed), so World.Run can unwind cleanly.
 func (b *mailbox) take(from int, comm string, tag int) message {
+	m, err := b.takeWait(from, comm, tag, nil, 0)
+	if err != nil {
+		// Unreachable: without a deadness predicate or timeout the wait
+		// can only end with a match or a poison panic.
+		panic(err)
+	}
+	return m
+}
+
+// takeWait is the fault-aware form of take: it additionally gives up with
+// a RankFailedError when isDead reports the sender dead and no matching
+// message is queued, or with a TimeoutError after the (wall-clock)
+// timeout. The queue is always scanned before consulting isDead, so a
+// message sent before the sender died is still delivered — in-flight
+// traffic survives its sender.
+func (b *mailbox) takeWait(from int, comm string, tag int, isDead func() bool, timeout time.Duration) (message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	timedOut := false
+	if timeout > 0 {
+		t := time.AfterFunc(timeout, func() {
+			b.mu.Lock()
+			timedOut = true
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		})
+		defer t.Stop()
+	}
 	for {
 		if b.poisoned {
 			panic("mpi: peer rank panicked while this rank was receiving")
@@ -51,8 +80,14 @@ func (b *mailbox) take(from int, comm string, tag int) message {
 		for i, m := range b.queue {
 			if m.from == from && m.comm == comm && m.tag == tag {
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
-				return m
+				return m, nil
 			}
+		}
+		if isDead != nil && isDead() {
+			return message{}, &RankFailedError{Rank: from, Op: "recv"}
+		}
+		if timedOut {
+			return message{}, &TimeoutError{Rank: from, Tag: tag}
 		}
 		b.cond.Wait()
 	}
@@ -64,6 +99,9 @@ func (b *mailbox) poison() {
 	b.mu.Unlock()
 	b.cond.Broadcast()
 }
+
+// wake rechecks every waiter's predicates (used when a rank dies).
+func (b *mailbox) wake() { b.cond.Broadcast() }
 
 func (b *mailbox) unpoison() {
 	b.mu.Lock()

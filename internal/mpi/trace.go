@@ -19,6 +19,7 @@ const (
 	EventCompute EventKind = iota
 	EventWait              // receiver idle until a message arrived
 	EventSend              // instantaneous on the sender (eager transport)
+	EventFault             // an injected fault fired on the sender (drop or delay)
 )
 
 func (k EventKind) String() string {
@@ -27,6 +28,8 @@ func (k EventKind) String() string {
 		return "compute"
 	case EventWait:
 		return "wait"
+	case EventFault:
+		return "fault"
 	default:
 		return "send"
 	}

@@ -26,6 +26,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridqr/internal/grid"
@@ -47,6 +48,14 @@ type World struct {
 	pendingSlowdowns []pendingSlowdown
 	counters         Counters
 	start            time.Time
+
+	// Fault-injection state; plan is nil (and the rest unused) unless
+	// WithFaults was given.
+	plan        *FaultPlan
+	fstate      []*faultState // per-rank, owner-goroutine access during Run
+	dead        []atomic.Bool
+	faultMu     sync.Mutex
+	faultCounts FaultCounts
 }
 
 // Option configures a World.
@@ -80,6 +89,14 @@ type pendingSlowdown struct {
 	factor float64
 }
 
+// WithFaults arms the world with a fault-injection plan. The plan itself
+// is immutable; all mutable bookkeeping lives in this world, so the same
+// plan attached to a fresh world replays the exact same faults. A nil
+// plan is accepted and means no faults.
+func WithFaults(plan *FaultPlan) Option {
+	return func(w *World) { w.plan = plan }
+}
+
 // NewWorld creates a world with one rank per processor of g. The grid is
 // always used for rank placement and per-link-class message counting; its
 // timing parameters matter only in virtual mode.
@@ -109,6 +126,14 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 	w.compute = make([]float64, w.n)
 	w.wait = make([][3]float64, w.n)
 	w.events = make([][]Event, w.n)
+	w.dead = make([]atomic.Bool, w.n)
+	w.fstate = make([]*faultState, w.n)
+	for i := range w.fstate {
+		w.fstate[i] = &faultState{}
+		if w.plan != nil {
+			w.fstate[i].fires = make([]int, len(w.plan.rules))
+		}
+	}
 	return w
 }
 
@@ -120,7 +145,9 @@ func (w *World) Grid() *grid.Grid { return w.g }
 
 // Run executes fn concurrently on every rank and blocks until all
 // complete. A panic on any rank is re-raised on the caller after all
-// other ranks are done or stuck senders are drained.
+// other ranks are done or stuck senders are drained. A rank killed by the
+// fault plan is not a panic: its goroutine unwinds quietly, the rank is
+// marked dead, and receivers blocked on it observe a RankFailedError.
 func (w *World) Run(fn func(*Ctx)) {
 	w.start = time.Now()
 	var wg sync.WaitGroup
@@ -131,6 +158,10 @@ func (w *World) Run(fn func(*Ctx)) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
+					if ks, ok := p.(killSentinel); ok {
+						w.markDead(ks.rank)
+						return
+					}
 					panics[rank] = p
 					// Unblock every rank potentially waiting on us.
 					for _, b := range w.boxes {
@@ -150,6 +181,39 @@ func (w *World) Run(fn func(*Ctx)) {
 	for _, b := range w.boxes {
 		b.unpoison()
 	}
+}
+
+// markDead flags a rank as failed and wakes every blocked receiver so it
+// can re-check its sender's liveness.
+func (w *World) markDead(rank int) {
+	w.dead[rank].Store(true)
+	w.faultMu.Lock()
+	w.faultCounts.Kills++
+	w.faultMu.Unlock()
+	for _, b := range w.boxes {
+		b.wake()
+	}
+}
+
+// RankDead reports whether a rank has been killed by the fault plan.
+func (w *World) RankDead(rank int) bool { return w.dead[rank].Load() }
+
+// DeadRanks returns the ranks killed so far, in rank order.
+func (w *World) DeadRanks() []int {
+	var out []int
+	for r := range w.dead {
+		if w.dead[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FaultCounts returns a snapshot of the faults injected so far.
+func (w *World) FaultCounts() FaultCounts {
+	w.faultMu.Lock()
+	defer w.faultMu.Unlock()
+	return w.faultCounts
 }
 
 // MaxClock returns the virtual completion time: the maximum final clock

@@ -10,6 +10,7 @@ import (
 	"gridqr/internal/lapack"
 	"gridqr/internal/matrix"
 	"gridqr/internal/mpi"
+	"gridqr/internal/testmat"
 )
 
 func TestBlockOffsets(t *testing.T) {
@@ -62,6 +63,44 @@ func runDistributedQR(t *testing.T, m, n, p int, seed int64,
 	})
 	lapack.NormalizeRSigns(r, nil)
 	return r, w, global
+}
+
+// TestPDGEQR2PropertySuite sweeps the shared testmat input classes
+// through the distributed factorization: full-rank classes must
+// reproduce the sequential R (relative tolerance, so extreme scales
+// count), rank-deficient ones must preserve ‖A‖ in R.
+func TestPDGEQR2PropertySuite(t *testing.T) {
+	const m, n, p = 72, 6, 4
+	for _, tc := range testmat.Suite() {
+		t.Run(tc.Name, func(t *testing.T) {
+			global := tc.Gen(m, n, 33)
+			offsets := BlockOffsets(m, p)
+			w := mpi.NewWorld(grid.SmallTestGrid(1, p, 1))
+			var mu sync.Mutex
+			var r *matrix.Dense
+			w.Run(func(ctx *mpi.Ctx) {
+				comm := mpi.WorldComm(ctx)
+				in := Input{M: m, N: n, Offsets: offsets, Local: Distribute(global, offsets, ctx.Rank())}
+				f := PDGEQR2(comm, in)
+				if ctx.Rank() == 0 {
+					mu.Lock()
+					r = f.R
+					mu.Unlock()
+				}
+			})
+			lapack.NormalizeRSigns(r, nil)
+			scale := matrix.NormFrob(global)
+			if tc.RankDeficient {
+				if d := math.Abs(matrix.NormFrob(r) - scale); d > 1e-11*scale {
+					t.Fatalf("‖R‖ drifted from ‖A‖ by %g", d)
+				}
+				return
+			}
+			if !matrix.Equal(r, seqR(global), 1e-11*scale) {
+				t.Fatalf("R differs from sequential reference beyond 1e-11·‖A‖")
+			}
+		})
+	}
 }
 
 // seqR computes the reference R via sequential LAPACK.

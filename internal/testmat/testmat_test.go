@@ -1,0 +1,50 @@
+package testmat
+
+import (
+	"math"
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+func TestSuiteShapesAndDeterminism(t *testing.T) {
+	for _, c := range Suite() {
+		a := c.Gen(30, 6, 7)
+		if a.Rows != 30 || a.Cols != 6 {
+			t.Errorf("%s: shape %dx%d", c.Name, a.Rows, a.Cols)
+		}
+		b := c.Gen(30, 6, 7)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Errorf("%s: not deterministic at %d", c.Name, i)
+				break
+			}
+		}
+		for _, v := range a.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite entry", c.Name)
+			}
+		}
+	}
+}
+
+func TestRankDeficientHasDuplicateColumn(t *testing.T) {
+	a := RankDeficient(20, 3, 1)
+	if !matrix.Equal(a.View(0, 0, 20, 1), a.View(0, 2, 20, 1), 0) {
+		t.Fatal("last column does not duplicate the first")
+	}
+	if z := RankDeficient(10, 1, 2); matrix.NormFrob(z) != 0 {
+		t.Fatal("1-column case must be the zero column")
+	}
+}
+
+func TestScalesAreExtreme(t *testing.T) {
+	h := Huge(10, 2, 3)
+	if m := matrix.NormMax(h); m < 1e119 {
+		t.Errorf("huge max entry %g", m)
+	}
+	ti := Tiny(10, 2, 3)
+	if m := matrix.NormMax(ti); m == 0 || m > 1e-119 {
+		t.Errorf("tiny max entry %g", m)
+	}
+}
