@@ -8,10 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime (incl. fault injection) and the TSQR/FT-TSQR paths must be
-# race-clean; short mode keeps this fast enough for every commit.
+# The runtime (incl. fault injection), the TSQR/FT-TSQR paths and the
+# lock-free telemetry registry must be race-clean; short mode keeps this
+# fast enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/telemetry
 
 vet:
 	$(GO) vet ./...

@@ -21,6 +21,7 @@ import (
 	"gridqr/internal/grid"
 	"gridqr/internal/mpi"
 	"gridqr/internal/scalapack"
+	"gridqr/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,9 @@ func main() {
 	faults := flag.Bool("faults", false, "run only the FT-TSQR resilience table (fault-injection sweep); same as -fig faults")
 	platform := flag.String("platform", "", "JSON platform file (default: the paper's Grid'5000)")
 	csvDir := flag.String("csv", "", "also write figure data as CSV files into this directory")
+	traceOut := flag.String("trace", "", "run a traced 2-site TSQR benchmark and write a Chrome/Perfetto trace_event JSON file (load in ui.perfetto.dev)")
+	metrics := flag.Bool("metrics", false, "run the traced benchmark and print its metrics registry, critical path and per-site communication matrix")
+	jsonOut := flag.String("json", "", "run the standard benchmark set and write a machine-readable JSON report")
 	flag.Parse()
 	if *faults {
 		*fig = "faults"
@@ -60,6 +64,34 @@ func main() {
 
 	want := func(k string) bool { return *fig == "all" || *fig == k }
 	ran := false
+
+	if *traceOut != "" || *metrics {
+		ran = true
+		if *fig == "all" {
+			*fig = "" // telemetry flags alone skip the figure sweeps
+		}
+		telemetryRun(g, *traceOut, *metrics)
+	}
+	if *jsonOut != "" {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		rep := bench.BuildReport(platformName(*platform), bench.StandardReportRuns(g))
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d runs)\n", *jsonOut, len(rep.Runs))
+	}
 
 	if want("3") {
 		ran = true
@@ -214,6 +246,53 @@ func adaptSweepsTo(g *grid.Grid) {
 	}
 	bench.DomainSweep = filter(bench.DomainSweep)
 	bench.BestDomainCandidates = filter(bench.BestDomainCandidates)
+}
+
+// platformName labels the report with its platform source.
+func platformName(path string) string {
+	if path == "" {
+		return "grid5000"
+	}
+	return path
+}
+
+// telemetryRun executes the canonical traced benchmark — a 2-site TSQR
+// factorization at the paper's N = 64 — and renders its telemetry:
+// optionally a Chrome trace_event file for Perfetto, and optionally the
+// metrics registry, critical-path decomposition and per-site
+// communication matrix on stdout.
+func telemetryRun(g *grid.Grid, traceOut string, metrics bool) {
+	sites := min(2, len(g.Clusters))
+	r := bench.Run{Grid: g, Sites: sites, M: 1 << 20, N: 64,
+		Algo: bench.TSQR, Tree: core.TreeGrid, Traced: true}
+	m := bench.Execute(r)
+	fmt.Printf("== Traced run: TSQR M=2^20 N=64 on %d site(s), %d procs ==\n",
+		sites, g.Sites(sites).Procs())
+	fmt.Printf("simulated time %.6f s, %.1f Gflop/s (model %.1f)\n\n",
+		m.Seconds, m.Gflops, m.ModelGflops)
+	fmt.Print(m.CriticalPath.String())
+	fmt.Printf("\n%s\n", m.CommMatrix.String())
+	if metrics {
+		fmt.Println("== Metrics registry ==")
+		fmt.Print(m.Registry.String())
+		fmt.Println()
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(1)
+		}
+		err = telemetry.WriteChromeTrace(f, m.Trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (open at ui.perfetto.dev)\n\n", traceOut)
+	}
 }
 
 // printTraces renders Gantt charts of both algorithms on a small

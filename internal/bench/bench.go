@@ -19,6 +19,7 @@ import (
 	"gridqr/internal/mpi"
 	"gridqr/internal/perfmodel"
 	"gridqr/internal/scalapack"
+	"gridqr/internal/telemetry"
 )
 
 // Algorithm selects the factorization under test.
@@ -46,6 +47,10 @@ type Run struct {
 	DomainsPerCluster int
 	Tree              core.Tree
 	WantQ             bool
+	// Traced records a structured telemetry trace and metrics registry
+	// during the run, enabling the critical-path and communication-matrix
+	// fields of the Measurement (small per-event overhead).
+	Traced bool
 }
 
 // Measurement is the outcome of a Run.
@@ -60,12 +65,23 @@ type Measurement struct {
 	// Model predictions from perfmodel for the same point.
 	ModelSeconds float64
 	ModelGflops  float64
+	// Telemetry products, populated only for Traced runs.
+	Trace        *telemetry.Trace
+	CriticalPath *telemetry.CriticalPath
+	CommMatrix   *telemetry.CommMatrix
+	Registry     *telemetry.Registry
 }
 
 // Execute runs one experiment point in cost-only simulation.
 func Execute(r Run) Measurement {
 	g := r.Grid.Sites(r.Sites)
-	w := mpi.NewWorld(g, mpi.CostOnly())
+	opts := []mpi.Option{mpi.CostOnly()}
+	var reg *telemetry.Registry
+	if r.Traced {
+		reg = telemetry.NewRegistry()
+		opts = append(opts, mpi.Traced(), mpi.WithMetrics(reg))
+	}
+	w := mpi.NewWorld(g, opts...)
 	procs := g.Procs()
 	offsets := scalapack.BlockOffsets(r.M, procs)
 	w.Run(func(ctx *mpi.Ctx) {
@@ -92,6 +108,14 @@ func Execute(r Run) Measurement {
 		Gflops:    perfmodel.Gflops(r.M, r.N, r.WantQ, sec),
 		Counters:  w.Counters(),
 		Breakdown: w.BreakdownOf(0),
+	}
+	if r.Traced {
+		m.Trace = w.Trace()
+		cp := telemetry.AnalyzeCriticalPath(m.Trace)
+		m.CriticalPath = &cp
+		cm := telemetry.BuildCommMatrix(m.Trace)
+		m.CommMatrix = &cm
+		m.Registry = reg
 	}
 	pred := perfmodel.Predictor{G: r.Grid, Sites: r.Sites, DomainsPerCluster: r.DomainsPerCluster}
 	if r.Algo == ScaLAPACK {

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
+)
+
+// Report is the machine-readable outcome of a set of benchmark runs:
+// the configuration, the headline Gflop/s, measured traffic, and the
+// critical-path decomposition of each traced run. It is what
+// `gridbench -json` writes, and what the committed results/BENCH_*.json
+// files record for regression comparison across PRs.
+type Report struct {
+	Platform string      `json:"platform"`
+	Runs     []ReportRun `json:"runs"`
+}
+
+// ReportRun is one experiment point of a Report.
+type ReportRun struct {
+	Algo    string `json:"algo"`
+	Tree    string `json:"tree,omitempty"`
+	Sites   int    `json:"sites"`
+	Procs   int    `json:"procs"`
+	M       int    `json:"m"`
+	N       int    `json:"n"`
+	Domains int    `json:"domains_per_cluster,omitempty"`
+	WantQ   bool   `json:"want_q"`
+
+	Seconds      float64 `json:"seconds"`
+	Gflops       float64 `json:"gflops"`
+	ModelSeconds float64 `json:"model_seconds"`
+	ModelGflops  float64 `json:"model_gflops"`
+
+	// Measured traffic, total and per link class.
+	Msgs          int64   `json:"msgs"`
+	Bytes         float64 `json:"bytes"`
+	InterSiteMsgs int64   `json:"inter_site_msgs"`
+	Flops         float64 `json:"flops"`
+
+	// Critical-path decomposition (traced runs only). Steps are omitted:
+	// the committed report records the breakdown, not the full walk.
+	CriticalPath *telemetry.CriticalPath `json:"critical_path,omitempty"`
+}
+
+// ReportRun builds the record of one executed point.
+func (r Run) report(m Measurement) ReportRun {
+	total := m.Counters.Total()
+	rr := ReportRun{
+		Algo:    r.Algo.String(),
+		Sites:   r.Sites,
+		Procs:   r.Grid.Sites(r.Sites).Procs(),
+		M:       r.M,
+		N:       r.N,
+		Domains: r.DomainsPerCluster,
+		WantQ:   r.WantQ,
+
+		Seconds:      m.Seconds,
+		Gflops:       m.Gflops,
+		ModelSeconds: m.ModelSeconds,
+		ModelGflops:  m.ModelGflops,
+
+		Msgs:          total.Msgs,
+		Bytes:         total.Bytes,
+		InterSiteMsgs: m.Counters.PerClass[grid.InterCluster].Msgs,
+		Flops:         m.Counters.Flops,
+	}
+	if r.Algo == TSQR {
+		rr.Tree = r.Tree.String()
+	}
+	if m.CriticalPath != nil {
+		cp := *m.CriticalPath
+		cp.Steps = nil
+		rr.CriticalPath = &cp
+	}
+	return rr
+}
+
+// BuildReport executes every run (forcing Traced so critical paths are
+// measured) and assembles the Report.
+func BuildReport(platform string, runs []Run) Report {
+	rep := Report{Platform: platform}
+	for _, r := range runs {
+		r.Traced = true
+		rep.Runs = append(rep.Runs, r.report(Execute(r)))
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// StandardReportRuns is the canonical benchmark set the -json flag
+// records: TSQR vs ScaLAPACK, one site vs all sites, at the paper's
+// N = 64 with a medium M that keeps the run a few seconds.
+func StandardReportRuns(g *grid.Grid) []Run {
+	m, n := 1<<20, 64
+	return []Run{
+		{Grid: g, Sites: 1, M: m, N: n, Algo: TSQR, Tree: core.TreeGrid},
+		{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: TSQR, Tree: core.TreeGrid},
+		{Grid: g, Sites: 1, M: m, N: n, Algo: ScaLAPACK},
+		{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: ScaLAPACK},
+	}
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
+)
+
+// TestTracedTwoSiteTSQR pins the PR's acceptance criteria on a real
+// benchmark point: a 2-site TSQR run must show exactly log₂(2) = 1
+// inter-site message, its critical-path decomposition must sum to the
+// total simulated runtime within 1%, and the exported Chrome trace must
+// be loadable JSON.
+func TestTracedTwoSiteTSQR(t *testing.T) {
+	g := grid.Grid5000()
+	m := Execute(Run{Grid: g, Sites: 2, M: 1 << 20, N: 64,
+		Algo: TSQR, Tree: core.TreeGrid, Traced: true})
+
+	if m.Trace == nil || m.CriticalPath == nil || m.CommMatrix == nil || m.Registry == nil {
+		t.Fatal("traced run missing telemetry products")
+	}
+	if msgs, _ := m.CommMatrix.InterSite(); msgs != 1 {
+		t.Errorf("2-site TSQR inter-site messages = %d, want 1 (= log₂ sites)", msgs)
+	}
+	if got := m.Registry.Counter("mpi.msgs." + grid.InterCluster.String()).Value(); got != 1 {
+		t.Errorf("metrics inter-site count = %g, want 1", got)
+	}
+	cp := m.CriticalPath
+	if cp.Total != m.Seconds {
+		t.Errorf("critical-path total %g != simulated time %g", cp.Total, m.Seconds)
+	}
+	if diff := math.Abs(cp.Sum() - cp.Total); diff > 0.01*cp.Total {
+		t.Errorf("compute+comm+idle = %g vs total %g (off by %g, > 1%%)", cp.Sum(), cp.Total, diff)
+	}
+	if cp.InterSiteMsgs != 1 {
+		t.Errorf("critical path crosses %d inter-site messages, want 1", cp.InterSiteMsgs)
+	}
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, m.Trace); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("exported trace has no events")
+	}
+}
+
+// TestReportJSONRoundTrip checks the -json report is stable, complete
+// and parseable.
+func TestReportJSONRoundTrip(t *testing.T) {
+	g := grid.SmallTestGrid(2, 4, 1)
+	rep := BuildReport("test", []Run{
+		{Grid: g, Sites: 2, M: 1 << 16, N: 16, Algo: TSQR, Tree: core.TreeGrid},
+		{Grid: g, Sites: 2, M: 1 << 16, N: 16, Algo: ScaLAPACK},
+	})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Runs) != 2 || back.Platform != "test" {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	for _, r := range back.Runs {
+		if r.Seconds <= 0 || r.Gflops <= 0 || r.Msgs <= 0 {
+			t.Errorf("run %s missing measurements: %+v", r.Algo, r)
+		}
+		if r.CriticalPath == nil {
+			t.Errorf("run %s missing critical path", r.Algo)
+		} else if len(r.CriticalPath.Steps) != 0 {
+			t.Errorf("committed report should omit path steps")
+		}
+	}
+	// TSQR's message total must be far below ScaLAPACK's (Table I).
+	if back.Runs[0].Msgs*10 > back.Runs[1].Msgs {
+		t.Errorf("TSQR msgs %d not ≪ ScaLAPACK msgs %d", back.Runs[0].Msgs, back.Runs[1].Msgs)
+	}
+}

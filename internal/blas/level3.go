@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
 )
 
 // gemmParallelThreshold is the flop count below which Dgemm stays
@@ -30,6 +31,7 @@ func Dgemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c 
 		panic("blas: Dgemm shape mismatch")
 	}
 	k := ka
+	defer telemetry.TimeKernel("dgemm", 2*float64(m)*float64(n)*float64(k))()
 	workers := runtime.GOMAXPROCS(0)
 	if 2*m*n*k < gemmParallelThreshold || workers < 2 || n < 2 {
 		gemmCols(ta, tb, alpha, a, b, beta, c, 0, n)
@@ -125,6 +127,7 @@ func Dtrmm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 	if t.Cols != n {
 		panic("blas: Dtrmm triangular operand not square")
 	}
+	defer telemetry.TimeKernel("dtrmm", float64(n)*float64(b.Rows)*float64(b.Cols))()
 	if side == Left {
 		if b.Rows != n {
 			panic("blas: Dtrmm shape mismatch")
@@ -219,6 +222,7 @@ func Dtrsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 	if t.Cols != n {
 		panic("blas: Dtrsm triangular operand not square")
 	}
+	defer telemetry.TimeKernel("dtrsm", float64(n)*float64(b.Rows)*float64(b.Cols))()
 	if side == Left {
 		if b.Rows != n {
 			panic("blas: Dtrsm shape mismatch")
@@ -314,6 +318,8 @@ func Dsyrk(trans Transpose, alpha float64, a *matrix.Dense, beta float64, c *mat
 	if c.Rows != n || c.Cols != n {
 		panic("blas: Dsyrk shape mismatch")
 	}
+	k := a.Rows + a.Cols - n // the contracted dimension, whichever op
+	defer telemetry.TimeKernel("dsyrk", float64(n)*float64(n+1)*float64(k))()
 	for j := 0; j < n; j++ {
 		for i := 0; i <= j; i++ {
 			var s float64

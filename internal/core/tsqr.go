@@ -38,7 +38,9 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	me := comm.Rank()
 	dom := l.mine(me)
 
+	leafDone := ctx.Phase("tsqr.panel")
 	leaf := factorLeaf(comm, in, dom, cfg)
+	leafDone()
 	res := &Result{Domains: len(l.domains)}
 
 	// Forward reduction over domain leaders. Non-leaders are done until
@@ -47,6 +49,7 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	var log []mergeRec
 	sentTo, sentTag := -1, -1
 	if me == dom.leader() {
+		combineDone := ctx.Phase("tsqr.combine")
 		for tag, m := range sched {
 			switch {
 			case m.dst == dom.id:
@@ -58,7 +61,7 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 				} else {
 					comm.Recv(src, rTagBase+tag)
 				}
-				ctx.Charge(flops.StackQR(in.N), in.N)
+				ctx.ChargeKernel("stack_qr", flops.StackQR(in.N), in.N)
 				log = append(log, rec)
 			case m.src == dom.id:
 				dst := l.domains[m.dst].leader()
@@ -92,10 +95,13 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 		if me == 0 && ctx.HasData() {
 			res.R = r
 		}
+		combineDone()
 	}
 
 	if cfg.WantQ {
+		qDone := ctx.Phase("tsqr.build_q")
 		res.QLocal = buildQ(comm, in, cfg, dom, leaf, log, sentTo, sentTag)
+		qDone()
 	}
 	if cfg.KeepFactors {
 		if !ctx.HasData() {
@@ -156,7 +162,7 @@ func factorLeaf(comm *mpi.Comm, in Input, dom domain, cfg Config) leafState {
 			}
 			st.r = lapack.TriuCopy(st.localF).View(0, 0, in.N, in.N).Clone()
 		}
-		ctx.Charge(flops.GEQRF(myRows, in.N), in.N)
+		ctx.ChargeKernel("geqrf", flops.GEQRF(myRows, in.N), in.N)
 		return st
 	}
 	// Multi-process domain: split off a communicator and call ScaLAPACK.
@@ -209,7 +215,7 @@ func buildQ(comm *mpi.Comm, in Input, cfg Config, dom domain, leaf leafState,
 			} else {
 				comm.SendBytes(rec.partner, 8*float64(n*n), qTagBase+rec.tag)
 			}
-			ctx.Charge(flops.StackQRApplyQ(n), n)
+			ctx.ChargeKernel("stack_qr_apply", flops.StackQRApplyQ(n), n)
 		}
 	}
 	// Expand the seed through the leaf's implicit Q. The charge is the
@@ -220,7 +226,7 @@ func buildQ(comm *mpi.Comm, in Input, cfg Config, dom domain, leaf leafState,
 		return scalapack.ApplyQTop(leaf.domComm, leaf.slf, seed)
 	}
 	myRows := in.Offsets[me+1] - in.Offsets[me]
-	ctx.Charge(flops.ORGQR(myRows, n), n)
+	ctx.ChargeKernel("orgqr", flops.ORGQR(myRows, n), n)
 	if !ctx.HasData() {
 		return nil
 	}

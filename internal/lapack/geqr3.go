@@ -2,7 +2,9 @@ package lapack
 
 import (
 	"gridqr/internal/blas"
+	"gridqr/internal/flops"
 	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
 )
 
 // Dgeqr3 computes the QR factorization of a with the recursive
@@ -21,6 +23,7 @@ func Dgeqr3(a *matrix.Dense) *matrix.Dense {
 	if m < n {
 		panic("lapack: Dgeqr3 requires m >= n")
 	}
+	defer telemetry.TimeKernel("dgeqr3", flops.GEQRF(m, n))()
 	t := matrix.New(n, n)
 	dgeqr3(a, t)
 	return t

@@ -1,0 +1,34 @@
+package lapack
+
+import (
+	"testing"
+
+	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
+	"gridqr/internal/testmat"
+)
+
+func TestKernelMetricsRecorded(t *testing.T) {
+	telemetry.EnableKernelMetrics(true)
+	defer telemetry.EnableKernelMetrics(false)
+	before := telemetry.Default().Counter("kernel.dgeqrf.calls").Value()
+	a := testmat.WellConditioned(64, 16, 1)
+	tau := make([]float64, 16)
+	Dgeqrf(a, tau, 8)
+	reg := telemetry.Default()
+	if got := reg.Counter("kernel.dgeqrf.calls").Value(); got != before+1 {
+		t.Errorf("dgeqrf calls = %g, want %g", got, before+1)
+	}
+	if reg.Counter("kernel.dgeqrf.flops").Value() <= 0 {
+		t.Errorf("dgeqrf flop counter not incremented")
+	}
+	if reg.Histogram("kernel.dgeqrf.seconds").Count() < 1 {
+		t.Errorf("dgeqrf duration histogram empty")
+	}
+	// Gated off: no further recording.
+	telemetry.EnableKernelMetrics(false)
+	Dgeqrf(matrix.New(32, 8), make([]float64, 8), 4)
+	if got := reg.Counter("kernel.dgeqrf.calls").Value(); got != before+1 {
+		t.Errorf("disabled kernel metrics still recorded (calls = %g)", got)
+	}
+}

@@ -2,7 +2,9 @@ package lapack
 
 import (
 	"gridqr/internal/blas"
+	"gridqr/internal/flops"
 	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
 )
 
 // Dorm2r applies op(Q) from the left to C, where Q is the orthogonal
@@ -46,6 +48,7 @@ func Dormqr(trans blas.Transpose, a *matrix.Dense, tau []float64, c *matrix.Dens
 	if c.Rows != m {
 		panic("lapack: Dormqr shape mismatch")
 	}
+	defer telemetry.TimeKernel("dormqr", flops.ORMQR(m, c.Cols, k))()
 	if nb <= 0 {
 		nb = DefaultBlock
 	}

@@ -1,7 +1,9 @@
 package lapack
 
 import (
+	"gridqr/internal/flops"
 	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
 )
 
 // This file implements the structured QR kernel at the heart of TSQR: the
@@ -65,6 +67,7 @@ func ApplyStackQ(v *matrix.Dense, tau []float64, trans bool, c1, c2 *matrix.Dens
 	if v.Cols != n || c1.Rows != n || c2.Rows != n || c1.Cols != c2.Cols {
 		panic("lapack: ApplyStackQ shape mismatch")
 	}
+	defer telemetry.TimeKernel("stack_qr_apply", flops.StackApply(n, c1.Cols))()
 	p := c1.Cols
 	apply := func(j int) {
 		t := tau[j]
@@ -101,6 +104,7 @@ func ApplyStackQ(v *matrix.Dense, tau []float64, trans bool, c1, c2 *matrix.Dens
 // the implicit Q (v, tau) needed to reconstruct the orthogonal factor.
 // Inputs are not modified.
 func StackQR(r1, r2 *matrix.Dense) (r, v *matrix.Dense, tau []float64) {
+	defer telemetry.TimeKernel("stack_qr", flops.StackQR(r1.Rows))()
 	r = r1.Clone()
 	v = r2.Clone()
 	tau = make([]float64, r1.Rows)

@@ -58,6 +58,7 @@ func (c *Comm) TryBcast(root int, data []float64) ([]float64, error) {
 	if n == 1 {
 		return data, nil
 	}
+	defer c.ctx.Phase("bcast")()
 	me := relRank(c.rank, root, n)
 	// Receive from parent: clear lowest set bit.
 	if me != 0 {
@@ -100,6 +101,9 @@ func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
 // TryReduce is Reduce with a typed error when a tree partner is dead.
 func (c *Comm) TryReduce(root int, data []float64, op Op) ([]float64, error) {
 	n := c.Size()
+	if n > 1 {
+		defer c.ctx.Phase("reduce")()
+	}
 	me := relRank(c.rank, root, n)
 	acc := data
 	for mask := 1; mask < n; mask <<= 1 {
@@ -142,6 +146,9 @@ func (c *Comm) Allreduce(data []float64, op Op) []float64 {
 // TryAllreduce is Allreduce with a typed error when a tree partner is
 // dead.
 func (c *Comm) TryAllreduce(data []float64, op Op) ([]float64, error) {
+	if c.Size() > 1 {
+		defer c.ctx.Phase("allreduce")()
+	}
 	out, err := c.TryReduce(0, data, op)
 	if err != nil {
 		return nil, err
@@ -177,6 +184,9 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 // dead.
 func (c *Comm) TryGather(root int, data []float64) ([]float64, error) {
 	n := c.Size()
+	if n > 1 {
+		defer c.ctx.Phase("gather")()
+	}
 	if c.rank != root {
 		return nil, c.trySendRaw(root, data, gatherTag)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
 )
 
 // Ctx is a rank's handle on the world: the receiver of every
@@ -45,6 +46,25 @@ func (c *Ctx) Now() float64 {
 	return time.Since(c.world.start).Seconds()
 }
 
+// tracing reports whether this rank records structured spans: a traced
+// virtual world (the trace model is driven by the simulated clock).
+func (c *Ctx) tracing() bool { return c.world.trace != nil && c.world.virtual }
+
+// Phase opens a named algorithm-phase span on this rank's track and
+// returns its closer:
+//
+//	defer ctx.Phase("panel")()
+//
+// Phases nest and overlay the compute/wait timeline in trace viewers; on
+// an untraced (or real-mode) world the call is a cheap no-op.
+func (c *Ctx) Phase(name string) func() {
+	if !c.tracing() {
+		return func() {}
+	}
+	c.world.trace.BeginPhase(c.rank, name, c.world.clocks[c.rank])
+	return func() { c.world.trace.EndPhase(c.rank, c.world.clocks[c.rank]) }
+}
+
 // maybeDie kills this rank when the fault plan says its time has come: a
 // killSentinel panic unwinds the goroutine and World.Run records the
 // death. Operation counts are per-rank program points, so the death site
@@ -55,6 +75,12 @@ func (c *Ctx) maybeDie() {
 		return
 	}
 	if k, ok := plan.killAt[c.rank]; ok && c.world.fstate[c.rank].ops >= k {
+		if c.tracing() {
+			now := c.world.clocks[c.rank]
+			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
+				Start: now, End: now, Peer: -1, Link: telemetry.LinkNone, FlowSeq: -1,
+				Fault: "kill", Value: float64(c.world.fstate[c.rank].ops)})
+		}
 		panic(killSentinel{rank: c.rank})
 	}
 }
@@ -65,9 +91,20 @@ func (c *Ctx) maybeDie() {
 // rank's clock advances; in real mode the charge only feeds the flop
 // counter, since the caller does the arithmetic for real.
 func (c *Ctx) Charge(flopCount float64, panelN int) {
+	c.ChargeKernel("compute", flopCount, panelN)
+}
+
+// ChargeKernel is Charge with a kernel name: the resulting compute span
+// carries the name and the flop count, so traced runs attribute virtual
+// time (and effective Gflop/s) to specific kernels rather than a single
+// undifferentiated "compute" bucket.
+func (c *Ctx) ChargeKernel(kernel string, flopCount float64, panelN int) {
 	c.maybeDie()
 	c.world.fstate[c.rank].ops++
 	c.world.counters.addFlops(flopCount)
+	if m := c.world.metrics; m != nil {
+		m.flops.Add(flopCount)
+	}
 	if !c.world.virtual {
 		return
 	}
@@ -76,7 +113,11 @@ func (c *Ctx) Charge(flopCount float64, panelN int) {
 	start := c.world.clocks[c.rank]
 	c.world.clocks[c.rank] = start + dur
 	c.world.compute[c.rank] += dur
-	c.world.recordEvent(Event{Rank: c.rank, Kind: EventCompute, Start: start, End: start + dur, Peer: -1})
+	if c.tracing() {
+		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanCompute,
+			Name: kernel, Start: start, End: start + dur, Peer: -1,
+			Link: telemetry.LinkNone, FlowSeq: -1, Flops: flopCount})
+	}
 }
 
 // Sleep advances this rank's virtual clock by the given seconds (no-op in
@@ -128,7 +169,7 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 			if faultUniform(plan.Seed, c.rank, to, tag, st.decisions) < r.Prob {
 				st.fires[ri]++
 				extra += r.Delay
-				c.noteFault(FaultDelay, to, class)
+				c.noteFault("delay", to, class, r.Delay)
 			}
 		}
 		for attempt := 1; ; attempt++ {
@@ -145,7 +186,7 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 				if faultUniform(plan.Seed, c.rank, to, tag, st.decisions) < r.Prob {
 					st.fires[ri]++
 					dropped = true
-					c.noteFault(FaultDrop, to, class)
+					c.noteFault("drop", to, class, float64(attempt))
 					break
 				}
 			}
@@ -155,16 +196,30 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 			if attempt >= plan.MaxRetries {
 				return &RankFailedError{Rank: to, Op: "send"}
 			}
+			// The transport retries with backoff: a retransmission, as
+			// visible (and costly) as the drop that forced it.
 			extra += plan.RetryBackoff * float64(attempt)
+			c.noteFault("retransmit", to, class, float64(attempt+1))
 		}
 	}
 	c.world.counters.record(class, bytes)
-	m := message{from: c.rank, comm: comm, tag: tag, data: data, bytes: bytes, class: int(class)}
+	if m := c.world.metrics; m != nil {
+		m.msgs[class].Inc()
+		m.bytes[class].Add(bytes)
+		m.msgSize[class].Observe(bytes)
+	}
+	seq := c.world.sendSeq[c.rank]
+	c.world.sendSeq[c.rank]++
+	m := message{from: c.rank, seq: seq, comm: comm, tag: tag, data: data, bytes: bytes, class: int(class)}
 	if c.world.virtual {
 		now := c.world.clocks[c.rank]
 		m.arrival = now + extra + link.TransferTime(bytes)
-		c.world.recordEvent(Event{Rank: c.rank, Kind: EventSend, Start: now, End: now,
-			Peer: to, Bytes: bytes, Class: class})
+		if c.tracing() {
+			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventSend,
+				Start: now, End: now, Peer: to, Bytes: bytes, Tag: tag,
+				Link: int8(class), CrossSite: class == grid.InterCluster,
+				FlowFrom: c.rank, FlowSeq: seq})
+		}
 	} else if extra > 0 {
 		time.Sleep(time.Duration(extra * float64(time.Second)))
 	}
@@ -172,20 +227,35 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 	return nil
 }
 
-// noteFault tallies one injected fault and, in a traced virtual world,
-// records it on the timeline.
-func (c *Ctx) noteFault(kind FaultKind, peer int, class grid.LinkClass) {
+// noteFault tallies one injected fault ("drop", "delay" or "retransmit")
+// and, in a traced virtual world, records it on the sender's timeline so
+// chaos runs are debuggable span by span.
+func (c *Ctx) noteFault(kind string, peer int, class grid.LinkClass, value float64) {
 	c.world.faultMu.Lock()
-	if kind == FaultDrop {
+	switch kind {
+	case "drop":
 		c.world.faultCounts.Drops++
-	} else {
+	case "delay":
 		c.world.faultCounts.Delays++
+	case "retransmit":
+		c.world.faultCounts.Retransmits++
 	}
 	c.world.faultMu.Unlock()
-	if c.world.virtual {
+	if m := c.world.metrics; m != nil {
+		switch kind {
+		case "drop":
+			m.drops.Inc()
+		case "delay":
+			m.delays.Inc()
+		case "retransmit":
+			m.retransmits.Inc()
+		}
+	}
+	if c.tracing() {
 		now := c.world.clocks[c.rank]
-		c.world.recordEvent(Event{Rank: c.rank, Kind: EventFault, Start: now, End: now,
-			Peer: peer, Class: class})
+		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
+			Start: now, End: now, Peer: peer, Link: int8(class),
+			CrossSite: class == grid.InterCluster, FlowSeq: -1, Fault: kind, Value: value})
 	}
 }
 
@@ -224,12 +294,26 @@ func (c *Ctx) recvE(from int, comm string, tag int, timeout time.Duration) (mess
 	if err != nil {
 		return message{}, err
 	}
-	if c.world.virtual && m.arrival > c.world.clocks[c.rank] {
-		start := c.world.clocks[c.rank]
-		c.world.wait[c.rank][m.class] += m.arrival - start
-		c.world.clocks[c.rank] = m.arrival
-		c.world.recordEvent(Event{Rank: c.rank, Kind: EventWait, Start: start, End: m.arrival,
-			Peer: from, Bytes: m.bytes, Class: grid.LinkClass(m.class)})
+	if c.world.virtual {
+		if m.arrival > c.world.clocks[c.rank] {
+			start := c.world.clocks[c.rank]
+			c.world.wait[c.rank][m.class] += m.arrival - start
+			c.world.clocks[c.rank] = m.arrival
+			if c.tracing() {
+				c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanWait,
+					Start: start, End: m.arrival, Peer: from, Bytes: m.bytes, Tag: tag,
+					Link: int8(m.class), CrossSite: grid.LinkClass(m.class) == grid.InterCluster,
+					FlowFrom: m.from, FlowSeq: m.seq})
+			}
+		} else if c.tracing() {
+			// The message beat the receiver: no wait span, but the flow
+			// edge still closes here (happens-before is preserved).
+			now := c.world.clocks[c.rank]
+			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventRecv,
+				Start: now, End: now, Peer: from, Bytes: m.bytes, Tag: tag,
+				Link: int8(m.class), CrossSite: grid.LinkClass(m.class) == grid.InterCluster,
+				FlowFrom: m.from, FlowSeq: m.seq})
+		}
 	}
 	return m, nil
 }

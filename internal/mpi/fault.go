@@ -179,9 +179,10 @@ type faultState struct {
 
 // FaultCounts tallies the faults a world actually injected during Run.
 type FaultCounts struct {
-	Drops  int64 // delivery attempts discarded (each implies a retransmit or a send failure)
-	Delays int64 // messages delayed
-	Kills  int64 // ranks killed
+	Drops       int64 // delivery attempts discarded (each implies a retransmit or a send failure)
+	Delays      int64 // messages delayed
+	Retransmits int64 // delivery attempts repeated after a drop
+	Kills       int64 // ranks killed
 }
 
 // killSentinel is the panic value used to unwind a killed rank's

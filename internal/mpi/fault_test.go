@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
 )
 
 // faultWorld is testWorld with a fault plan armed.
@@ -314,5 +315,63 @@ func TestPlanFromFailureRates(t *testing.T) {
 	}
 	if z := PlanFromFailureRates(g, 7, 3600, 100); len(z.Kills()) != 0 {
 		t.Errorf("zero failure rate produced kills: %v", z.Kills())
+	}
+}
+
+func TestTracedWorldRecordsFaults(t *testing.T) {
+	// Fault-layer activity must be first-class in the trace: delays,
+	// drops, the retransmits they force, and rank kills all appear as
+	// fault events on the rank that experienced them, and a metrics
+	// registry attached to the world tallies the same counts.
+	reg := telemetry.NewRegistry()
+	plan := NewFaultPlan(1).
+		Delay(0, 1, 5, 1.0, 10e-3, 1).
+		Drop(0, 1, 5, 1.0, 2). // first two attempts dropped, third delivers
+		Kill(2, 0)
+	w := faultWorld(3, plan, Virtual(), Traced(), WithMetrics(reg))
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		switch ctx.Rank() {
+		case 0:
+			if err := c.TrySend(1, []float64{1}, 5); err != nil {
+				t.Errorf("TrySend = %v, want delivery after retries", err)
+			}
+		case 1:
+			if _, err := c.TryRecv(0, 5); err != nil {
+				t.Errorf("TryRecv = %v", err)
+			}
+		case 2:
+			// Killed before the receive even starts.
+			if _, err := c.TryRecv(0, 5); err == nil {
+				t.Errorf("rank 2 survived a scheduled kill")
+			}
+		}
+	})
+	byKind := map[string]int{}
+	tr := w.Trace()
+	for r := 0; r < w.Size(); r++ {
+		for _, s := range tr.Track(r) {
+			if s.Kind == telemetry.EventFault {
+				byKind[s.Fault]++
+			}
+		}
+	}
+	want := map[string]int{"delay": 1, "drop": 2, "retransmit": 2, "kill": 1}
+	for kind, n := range want {
+		if byKind[kind] != n {
+			t.Errorf("trace has %d %q fault events, want %d (all: %v)", byKind[kind], kind, n, byKind)
+		}
+	}
+	fc := w.FaultCounts()
+	if fc.Drops != 2 || fc.Delays != 1 || fc.Retransmits != 2 || fc.Kills != 1 {
+		t.Errorf("FaultCounts = %+v", fc)
+	}
+	for name, wantV := range map[string]float64{
+		"mpi.fault.drops": 2, "mpi.fault.delays": 1,
+		"mpi.fault.retransmits": 2, "mpi.fault.kills": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != wantV {
+			t.Errorf("metric %s = %g, want %g", name, got, wantV)
+		}
 	}
 }

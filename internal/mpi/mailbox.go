@@ -10,6 +10,7 @@ import (
 // cross-match.
 type message struct {
 	from    int
+	seq     int64 // per-sender sequence number: the flow identity of the transfer
 	comm    string
 	tag     int
 	data    []float64

@@ -5,21 +5,26 @@ import (
 	"strings"
 
 	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
 )
 
-// Execution tracing for virtual-mode worlds: every compute charge and
-// every message wait becomes a timestamped event, and the collected
-// timeline can be rendered as a text Gantt chart — the visual form of the
-// paper's Section V-E time-breakdown argument.
+// Execution tracing for virtual-mode worlds. The world records a
+// structured telemetry.Trace — per-rank spans for every compute charge,
+// message wait and algorithm phase, instantaneous send/recv/fault
+// events, and flow identities binding each send to the receive that
+// consumed it. Everything below (the legacy Event view and the text
+// Gantt chart) is a renderer over that model; richer consumers use
+// World.Trace directly for Chrome export, critical-path analysis and
+// communication matrices.
 
-// EventKind classifies a trace event.
+// EventKind classifies a legacy trace event.
 type EventKind int
 
 const (
 	EventCompute EventKind = iota
 	EventWait              // receiver idle until a message arrived
 	EventSend              // instantaneous on the sender (eager transport)
-	EventFault             // an injected fault fired on the sender (drop or delay)
+	EventFault             // an injected fault fired (drop, delay, retransmit or kill)
 )
 
 func (k EventKind) String() string {
@@ -35,7 +40,8 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one timeline entry of one rank.
+// Event is one timeline entry of one rank — the flat view derived from
+// the structured trace, kept for simple consumers and tests.
 type Event struct {
 	Rank       int
 	Kind       EventKind
@@ -45,17 +51,47 @@ type Event struct {
 	Class      grid.LinkClass // meaningful for Wait/Send
 }
 
-// Traced enables event collection on a virtual world.
+// Traced enables trace collection on a virtual world.
 func Traced() Option { return func(w *World) { w.traced = true } }
 
-// Events returns every recorded event, grouped by rank (index = rank).
-// Call after Run.
-func (w *World) Events() [][]Event { return w.events }
-
-func (w *World) recordEvent(e Event) {
-	if w.traced {
-		w.events[e.Rank] = append(w.events[e.Rank], e)
+// Trace returns the structured trace recorded during Run (nil unless the
+// world was created with Traced()). The trace's Duration is stamped with
+// the final virtual clock so analyses see trailing idle time.
+func (w *World) Trace() *telemetry.Trace {
+	if w.trace != nil {
+		w.trace.Duration = w.MaxClock()
 	}
+	return w.trace
+}
+
+// Events returns every recorded event in the legacy flat form, grouped
+// by rank (index = rank). Call after Run. Phase spans and no-wait
+// receives exist only in the structured trace.
+func (w *World) Events() [][]Event {
+	out := make([][]Event, w.n)
+	if w.trace == nil {
+		return out
+	}
+	for r := 0; r < w.n; r++ {
+		for _, s := range w.trace.Track(r) {
+			e := Event{Rank: r, Start: s.Start, End: s.End, Peer: s.Peer,
+				Bytes: s.Bytes, Class: grid.LinkClass(max(0, int(s.Link)))}
+			switch s.Kind {
+			case telemetry.SpanCompute:
+				e.Kind, e.Peer = EventCompute, -1
+			case telemetry.SpanWait:
+				e.Kind = EventWait
+			case telemetry.EventSend:
+				e.Kind = EventSend
+			case telemetry.EventFault:
+				e.Kind = EventFault
+			default:
+				continue // phases and no-wait receives have no flat form
+			}
+			out[r] = append(out[r], e)
+		}
+	}
+	return out
 }
 
 // Gantt renders the trace as one text row per rank over the given number
@@ -73,11 +109,11 @@ func (w *World) Gantt(buckets int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "virtual time: %.6f s, one column = %.2e s\n", total, total/float64(buckets))
 	fmt.Fprintf(&b, "legend: '#' compute, '!' inter-cluster wait, '-' intra-cluster wait, '=' intra-node wait\n")
-	for rank, evs := range w.events {
+	for rank, evs := range w.Events() {
 		// weight[bucket][category]
 		weights := make([][4]float64, buckets)
 		for _, e := range evs {
-			if e.Kind == EventSend || e.End <= e.Start {
+			if e.Kind == EventSend || e.Kind == EventFault || e.End <= e.Start {
 				continue
 			}
 			cat := 0

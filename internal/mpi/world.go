@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"gridqr/internal/grid"
+	"gridqr/internal/telemetry"
 )
 
 // World owns the mailboxes, clocks and counters of a set of ranks.
@@ -43,8 +44,10 @@ type World struct {
 	compute          []float64 // virtual seconds each rank spent computing
 	wait             [][3]float64
 	traced           bool
-	events           [][]Event // per-rank, owner-goroutine access during Run
-	slowdown         []float64 // per-rank compute multiplier (1 = nominal)
+	trace            *telemetry.Trace // nil unless traced; per-rank tracks, owner-goroutine access during Run
+	sendSeq          []int64          // per-rank message sequence, the flow identity of each send
+	metrics          *worldMetrics    // nil unless WithMetrics was given
+	slowdown         []float64        // per-rank compute multiplier (1 = nominal)
 	pendingSlowdowns []pendingSlowdown
 	counters         Counters
 	start            time.Time
@@ -89,6 +92,48 @@ type pendingSlowdown struct {
 	factor float64
 }
 
+// worldMetrics holds pre-resolved registry handles so the per-message
+// hot path is a handful of atomic adds, never a map lookup or a lock.
+type worldMetrics struct {
+	reg         *telemetry.Registry
+	msgs        [3]*telemetry.Counter // per grid.LinkClass
+	bytes       [3]*telemetry.Counter
+	msgSize     [3]*telemetry.Histogram
+	flops       *telemetry.Counter
+	drops       *telemetry.Counter
+	delays      *telemetry.Counter
+	retransmits *telemetry.Counter
+	kills       *telemetry.Counter
+}
+
+func newWorldMetrics(reg *telemetry.Registry) *worldMetrics {
+	m := &worldMetrics{reg: reg}
+	for c := 0; c < 3; c++ {
+		cls := grid.LinkClass(c).String()
+		m.msgs[c] = reg.Counter("mpi.msgs." + cls)
+		m.bytes[c] = reg.Counter("mpi.bytes." + cls)
+		m.msgSize[c] = reg.Histogram("mpi.msg_bytes." + cls)
+	}
+	m.flops = reg.Counter("mpi.flops")
+	m.drops = reg.Counter("mpi.fault.drops")
+	m.delays = reg.Counter("mpi.fault.delays")
+	m.retransmits = reg.Counter("mpi.fault.retransmits")
+	m.kills = reg.Counter("mpi.fault.kills")
+	return m
+}
+
+// WithMetrics attaches a telemetry registry: every send, charge and
+// injected fault updates named counters and per-link-class message-size
+// histograms in it. Updates are lock-free atomics, so the option is
+// cheap enough to leave on in measured runs.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(w *World) {
+		if reg != nil {
+			w.metrics = newWorldMetrics(reg)
+		}
+	}
+}
+
 // WithFaults arms the world with a fault-injection plan. The plan itself
 // is immutable; all mutable bookkeeping lives in this world, so the same
 // plan attached to a fresh world replays the exact same faults. A nil
@@ -125,7 +170,20 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 	w.clocks = make([]float64, w.n)
 	w.compute = make([]float64, w.n)
 	w.wait = make([][3]float64, w.n)
-	w.events = make([][]Event, w.n)
+	w.sendSeq = make([]int64, w.n)
+	if w.traced {
+		w.trace = telemetry.NewTrace(w.n)
+		sites := make([]int, w.n)
+		for r := range sites {
+			sites[r] = g.ClusterOf(r)
+		}
+		names := make([]string, len(g.Clusters))
+		for i, c := range g.Clusters {
+			names[i] = c.Name
+		}
+		w.trace.Sites = sites
+		w.trace.SiteNames = names
+	}
 	w.dead = make([]atomic.Bool, w.n)
 	w.fstate = make([]*faultState, w.n)
 	for i := range w.fstate {
@@ -190,6 +248,9 @@ func (w *World) markDead(rank int) {
 	w.faultMu.Lock()
 	w.faultCounts.Kills++
 	w.faultMu.Unlock()
+	if w.metrics != nil {
+		w.metrics.kills.Inc()
+	}
 	for _, b := range w.boxes {
 		b.wake()
 	}

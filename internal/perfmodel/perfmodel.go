@@ -57,6 +57,46 @@ func double(b Breakdown) Breakdown {
 	return Breakdown{Msgs: 2 * b.Msgs, Volume: 2 * b.Volume, Flops: 2 * b.Flops}
 }
 
+// ExactCounts is an exact total over all ranks — not the per-domain
+// critical-path figures of Table I/II, but the sum the simulator's
+// telemetry counters measure, so model and measurement can be compared
+// message for message.
+type ExactCounts struct {
+	Msgs   float64
+	Volume float64 // bytes
+}
+
+// TSQRExactTotals returns the exact message count and volume of the
+// R-only TSQR reduction over `domains` single-process domains with a
+// rooted tree (grid, binomial or flat): every merge moves exactly one
+// packed upper triangle, and a tree over d domains has d−1 merges.
+// CrossSiteMsgs of the grid-tuned tree is sites−1 (the inter-cluster
+// stage merges one root per remaining site into site 0).
+func TSQRExactTotals(n, domains int) ExactCounts {
+	tri := 8 * float64(n) * float64(n+1) / 2
+	m := float64(domains - 1)
+	return ExactCounts{Msgs: m, Volume: m * tri}
+}
+
+// TSQRExactCrossSite returns the exact inter-site message count of the
+// grid-tuned tree over `sites` sites: one per site beyond the first.
+func TSQRExactCrossSite(sites int) float64 { return float64(sites - 1) }
+
+// PDGEQR2ExactTotals returns the exact message count and volume of the
+// R-only PDGEQR2 factorization over p processes (cost-only mode, where
+// the final R assembly moves no data): every column performs a
+// normalization allreduce of 2 floats, and every column but the last an
+// update allreduce of its n−j−1 trailing dot products. Each binomial
+// allreduce is a reduce plus a broadcast, p−1 messages each.
+func PDGEQR2ExactTotals(n, p int) ExactCounts {
+	hops := 2 * float64(p-1) // messages per allreduce: reduce + bcast
+	fn := float64(n)
+	msgs := (2*fn - 1) * hops
+	volume := hops * (16*fn + // n norm allreduces × 2 floats
+		4*fn*(fn-1)) // update vectors: 8·Σ_{j<n−1}(n−j−1) = 4n(n−1)
+	return ExactCounts{Msgs: msgs, Volume: volume}
+}
+
 // Time is Equation 1: time = β·msgs + α·volume + γ·flops, with β the
 // latency (s), alphaInv the bandwidth (bytes/s) and rate the floating
 // point rate (flop/s).

@@ -1,0 +1,94 @@
+package perfmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/mpi"
+	"gridqr/internal/perfmodel"
+	"gridqr/internal/scalapack"
+	"gridqr/internal/telemetry"
+)
+
+// measured sums the telemetry message counters of one cost-only run.
+func measured(reg *telemetry.Registry) (msgs, volume, interMsgs float64) {
+	for c := 0; c < 3; c++ {
+		cls := grid.LinkClass(c).String()
+		msgs += reg.Counter("mpi.msgs." + cls).Value()
+		volume += reg.Counter("mpi.bytes." + cls).Value()
+	}
+	interMsgs = reg.Counter("mpi.msgs." + grid.InterCluster.String()).Value()
+	return msgs, volume, interMsgs
+}
+
+// TestModelVsMeasuredTSQR pits the exact analytic message/volume totals
+// against what the instrumented simulator actually counts, on small
+// grids where the combinatorics are checkable by hand. Counts must match
+// exactly; volumes to within a part in 10⁹ (pure float accumulation).
+func TestModelVsMeasuredTSQR(t *testing.T) {
+	const m, n = 1 << 16, 16
+	for _, tc := range []struct{ sites, nodes int }{
+		{1, 4}, {2, 4}, {4, 2}, {2, 8},
+	} {
+		g := grid.SmallTestGrid(tc.sites, tc.nodes, 1)
+		reg := telemetry.NewRegistry()
+		w := mpi.NewWorld(g, mpi.CostOnly(), mpi.Traced(), mpi.WithMetrics(reg))
+		w.Run(func(ctx *mpi.Ctx) {
+			core.Factorize(mpi.WorldComm(ctx),
+				core.Input{M: m, N: n, Offsets: scalapack.BlockOffsets(m, g.Procs())},
+				core.Config{Tree: core.TreeGrid})
+		})
+		domains := g.Procs() // one single-process domain per rank
+		want := perfmodel.TSQRExactTotals(n, domains)
+		gotMsgs, gotVol, gotInter := measured(reg)
+		if gotMsgs != want.Msgs {
+			t.Errorf("%d sites × %d: TSQR messages = %g, model %g", tc.sites, tc.nodes, gotMsgs, want.Msgs)
+		}
+		if math.Abs(gotVol-want.Volume) > 1e-9*want.Volume {
+			t.Errorf("%d sites × %d: TSQR volume = %g, model %g", tc.sites, tc.nodes, gotVol, want.Volume)
+		}
+		if wantInter := perfmodel.TSQRExactCrossSite(tc.sites); gotInter != wantInter {
+			t.Errorf("%d sites × %d: TSQR inter-site messages = %g, model %g", tc.sites, tc.nodes, gotInter, wantInter)
+		}
+		// The world's own per-class counters must agree with the registry.
+		if total := w.Counters().Total(); float64(total.Msgs) != gotMsgs {
+			t.Errorf("registry and world counters disagree: %v vs %g", total, gotMsgs)
+		}
+	}
+}
+
+func TestModelVsMeasuredPDGEQR2(t *testing.T) {
+	const m, n = 1 << 14, 8
+	for _, procs := range []int{2, 4, 8} {
+		g := grid.SmallTestGrid(1, procs, 1)
+		reg := telemetry.NewRegistry()
+		w := mpi.NewWorld(g, mpi.CostOnly(), mpi.WithMetrics(reg))
+		w.Run(func(ctx *mpi.Ctx) {
+			scalapack.PDGEQR2(mpi.WorldComm(ctx), scalapack.Input{
+				M: m, N: n, Offsets: scalapack.BlockOffsets(m, procs)})
+		})
+		want := perfmodel.PDGEQR2ExactTotals(n, procs)
+		gotMsgs, gotVol, _ := measured(reg)
+		if gotMsgs != want.Msgs {
+			t.Errorf("p=%d: PDGEQR2 messages = %g, model %g", procs, gotMsgs, want.Msgs)
+		}
+		if math.Abs(gotVol-want.Volume) > 1e-9*want.Volume {
+			t.Errorf("p=%d: PDGEQR2 volume = %g, model %g", procs, gotVol, want.Volume)
+		}
+	}
+}
+
+// TestTableIMessageRatio reproduces the paper's Table I headline on the
+// measured side: per column of the critical path, ScaLAPACK pays ~2
+// allreduces where TSQR pays a single reduction tree, so total TSQR
+// traffic must be far below ScaLAPACK's for any nontrivial n.
+func TestTableIMessageRatio(t *testing.T) {
+	const n, procs = 32, 8
+	ts := perfmodel.TSQRExactTotals(n, procs)
+	sl := perfmodel.PDGEQR2ExactTotals(n, procs)
+	if ratio := sl.Msgs / ts.Msgs; ratio < float64(n) {
+		t.Errorf("ScaLAPACK/TSQR message ratio = %g, expected ≥ n = %d", ratio, n)
+	}
+}

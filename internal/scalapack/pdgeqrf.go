@@ -45,6 +45,7 @@ func PDGEQRF(comm *mpi.Comm, in Input, nb, nx int) *Factorization {
 // row blocks with two allreduces.
 func (p *pd) blockUpdate(j, jb int) {
 	ctx := p.comm.Ctx()
+	defer ctx.Phase("pdgeqrf.block_update")()
 	n := p.in.N
 	rest := n - j - jb
 	myOff, myRows := p.myOff(), p.myRows()
@@ -66,7 +67,7 @@ func (p *pd) blockUpdate(j, jb int) {
 		}
 	}
 	gram = p.comm.Allreduce(gram, mpi.OpSum)
-	ctx.Charge(float64(active*jb*jb), n)
+	ctx.ChargeKernel("syrk", float64(active*jb*jb), n)
 
 	// --- Local T from the Gram matrix and taus ---
 	var t *matrix.Dense
@@ -83,7 +84,7 @@ func (p *pd) blockUpdate(j, jb int) {
 		blas.Dgemm(blas.Trans, blas.NoTrans, 1, vloc, cloc, 0, zm)
 	}
 	z = p.comm.Allreduce(z, mpi.OpSum)
-	ctx.Charge(float64(2*active*jb*rest), n)
+	ctx.ChargeKernel("gemm", float64(2*active*jb*rest), n)
 
 	// --- Local update: C −= V·(Tᵀ·Z) ---
 	if ctx.HasData() {
@@ -91,7 +92,7 @@ func (p *pd) blockUpdate(j, jb int) {
 		blas.Dtrmm(blas.Left, blas.Trans, false, 1, t, y)
 		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, vloc, y, 1, cloc)
 	}
-	ctx.Charge(float64(2*active*jb*rest), n)
+	ctx.ChargeKernel("gemm", float64(2*active*jb*rest), n)
 }
 
 // localV materializes this rank's rows of the panel reflectors V for

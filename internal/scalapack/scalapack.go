@@ -109,6 +109,7 @@ func (p *pd) myRows() int { return p.in.Offsets[p.comm.Rank()+1] - p.myOff() }
 // performs the wider update with block reflectors.
 func (p *pd) panelQR2(j0, j1, updateTo int) {
 	ctx := p.comm.Ctx()
+	defer ctx.Phase("pdgeqr2.panel")()
 	local, myOff, myRows := p.in.Local, p.myOff(), p.myRows()
 	n := p.in.N
 	for j := j0; j < j1; j++ {
@@ -144,7 +145,7 @@ func (p *pd) panelQR2(j0, j1, updateTo int) {
 			}
 		}
 		activeRows := myRows - lo
-		ctx.Charge(float64(3*activeRows), n)
+		ctx.ChargeKernel("larfg", float64(3*activeRows), n)
 		if j+1 >= updateTo {
 			continue // no trailing columns in range: no update reduction (Fig. 1)
 		}
@@ -178,7 +179,7 @@ func (p *pd) panelQR2(j0, j1, updateTo int) {
 				}
 			}
 		}
-		ctx.Charge(float64(4*activeRows*(updateTo-j-1)), n)
+		ctx.ChargeKernel("larf", float64(4*activeRows*(updateTo-j-1)), n)
 	}
 }
 

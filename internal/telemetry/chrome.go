@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: any trace can be written as the JSON Array
+// Format consumed by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Sites become processes, ranks become threads, compute/wait/phase spans
+// become complete ("X") events, message edges become flow ("s"/"f")
+// pairs and faults become instant ("i") events. Timestamps are the
+// trace's own clock — virtual seconds in simulated runs — scaled to the
+// format's microseconds.
+
+// chromeEvent is one trace_event record; field order fixes the exported
+// byte layout so golden tests are stable.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   string         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const usPerSecond = 1e6
+
+// WriteChromeTrace writes the trace in Chrome trace_event JSON array
+// format, one event per line, deterministically ordered (metadata, then
+// tracks in rank order, spans in recording order).
+func WriteChromeTrace(w io.Writer, t *Trace) error {
+	var events []chromeEvent
+
+	// Process (site) and thread (rank) naming metadata.
+	for site := 0; site < t.NumSites(); site++ {
+		name := fmt.Sprintf("site %d", site)
+		if site < len(t.SiteNames) && t.SiteNames[site] != "" {
+			name = t.SiteNames[site]
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: site, Args: map[string]any{"name": name},
+		})
+	}
+	for r := 0; r < t.Ranks(); r++ {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: t.SiteOf(r), Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+	}
+
+	for r := 0; r < t.Ranks(); r++ {
+		pid := t.SiteOf(r)
+		for _, s := range t.Track(r) {
+			ts := s.Start * usPerSecond
+			switch s.Kind {
+			case SpanCompute:
+				dur := s.Dur() * usPerSecond
+				events = append(events, chromeEvent{
+					Name: nameOr(s.Name, "compute"), Ph: "X", Pid: pid, Tid: r, Ts: ts, Dur: &dur,
+					Cat: "compute", Args: map[string]any{"flops": s.Flops},
+				})
+			case SpanWait:
+				dur := s.Dur() * usPerSecond
+				events = append(events, chromeEvent{
+					Name: nameOr(s.Name, "wait"), Ph: "X", Pid: pid, Tid: r, Ts: ts, Dur: &dur,
+					Cat: "wait", Args: commArgs(s),
+				})
+				if s.FlowSeq >= 0 {
+					events = append(events, chromeEvent{
+						Name: "msg", Ph: "f", Pid: pid, Tid: r, Ts: s.End * usPerSecond,
+						Cat: "flow", ID: flowID(s.FlowFrom, s.FlowSeq), BP: "e",
+					})
+				}
+			case SpanPhase:
+				dur := s.Dur() * usPerSecond
+				events = append(events, chromeEvent{
+					Name: nameOr(s.Name, "phase"), Ph: "X", Pid: pid, Tid: r, Ts: ts, Dur: &dur,
+					Cat: "phase",
+				})
+			case EventSend:
+				events = append(events, chromeEvent{
+					Name: "msg", Ph: "s", Pid: pid, Tid: r, Ts: ts,
+					Cat: "flow", ID: flowID(s.Rank, s.FlowSeq), Args: commArgs(s),
+				})
+			case EventRecv:
+				if s.FlowSeq >= 0 {
+					events = append(events, chromeEvent{
+						Name: "msg", Ph: "f", Pid: pid, Tid: r, Ts: ts,
+						Cat: "flow", ID: flowID(s.FlowFrom, s.FlowSeq), BP: "e",
+					})
+				}
+			case EventFault:
+				events = append(events, chromeEvent{
+					Name: "fault:" + s.Fault, Ph: "i", Pid: pid, Tid: r, Ts: ts, Cat: "fault",
+					S: "t", Args: map[string]any{"peer": s.Peer, "value": s.Value},
+				})
+			}
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		buf, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", buf, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+func nameOr(name, fallback string) string {
+	if name != "" {
+		return name
+	}
+	return fallback
+}
+
+// flowID is the stable identity of one message across its two endpoints.
+func flowID(from int, seq int64) string { return fmt.Sprintf("%d:%d", from, seq) }
+
+// commArgs packs the communication attributes of a span.
+func commArgs(s Span) map[string]any {
+	return map[string]any{
+		"peer":       s.Peer,
+		"bytes":      s.Bytes,
+		"tag":        s.Tag,
+		"link":       LinkName(s.Link),
+		"cross_site": s.CrossSite,
+	}
+}

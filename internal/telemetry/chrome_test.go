@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace is a compact trace covering every event kind the exporter
+// emits: compute, wait with a flow, phase, send, no-wait recv, fault.
+func goldenTrace() *Trace {
+	tr := buildDAGTrace()
+	tr.BeginPhase(1, "panel", 0)
+	tr.EndPhase(1, 1)
+	tr.Add(Span{Rank: 1, Kind: EventFault, Start: 0.75, End: 0.75, Peer: 2,
+		Link: LinkIntraCluster, FlowSeq: -1, Fault: "drop", Value: 1})
+	return tr
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace_event output drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeWellFormed checks the invariants any trace viewer needs:
+// valid JSON, matched flow endpoints, non-negative durations.
+func TestChromeWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			ID   string   `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	starts := map[string]int{}
+	finishes := map[string]int{}
+	var complete, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.Dur == nil || *e.Dur < 0 {
+				t.Fatalf("complete event %q without non-negative dur", e.Name)
+			}
+		case "s":
+			starts[e.ID]++
+		case "f":
+			finishes[e.ID]++
+		case "i":
+			instants++
+		}
+	}
+	// 6 compute/wait spans + 1 phase in the golden trace.
+	if complete != 7 {
+		t.Fatalf("complete events = %d, want 7", complete)
+	}
+	if instants != 1 {
+		t.Fatalf("instant events = %d, want 1 fault", instants)
+	}
+	if len(starts) != 2 {
+		t.Fatalf("flow starts = %v, want 2 distinct messages", starts)
+	}
+	for id := range starts {
+		if finishes[id] != 1 {
+			t.Fatalf("flow %q has %d finishes, want 1", id, finishes[id])
+		}
+	}
+}

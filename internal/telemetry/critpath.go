@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Critical-path analysis. The span DAG of a run has two edge families:
+// program order within each rank (its timeline spans are totally
+// ordered by the clock) and happens-before edges from message departure
+// to the receive that consumed it (tree combines, collectives and
+// point-to-point transfers all reduce to these). The longest path is
+// walked backwards from the last rank to finish: through compute spans
+// it stays on the rank; at a wait span it charges the transfer to the
+// message's link class and, when the message left after the receiver
+// started waiting, jumps to the sender — the wait was the sender's
+// fault, so the path continues there. Gaps no span accounts for are
+// idle. By construction the categories sum exactly to the run's
+// duration.
+
+// PathStep is one traversed segment of the critical path, in time order.
+type PathStep struct {
+	Rank     int     `json:"rank"`
+	Kind     string  `json:"kind"` // "compute", "comm" or "idle"
+	Name     string  `json:"name,omitempty"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	Link     int8    `json:"link"`      // comm steps: link class
+	FromRank int     `json:"from_rank"` // comm steps: the sender
+}
+
+// CriticalPath is the decomposition of the longest path of a run.
+type CriticalPath struct {
+	Total     float64 `json:"total_seconds"`
+	Compute   float64 `json:"compute_seconds"`
+	IntraSite float64 `json:"intra_site_comm_seconds"` // intra-node + intra-cluster transfers
+	InterSite float64 `json:"inter_site_comm_seconds"` // inter-cluster transfers
+	Idle      float64 `json:"idle_seconds"`
+	// Message hops traversed by the path, total and cross-site — the
+	// measured counterpart of the model's log₂ terms.
+	Msgs          int        `json:"path_messages"`
+	InterSiteMsgs int        `json:"path_inter_site_messages"`
+	EndRank       int        `json:"end_rank"` // the last rank to finish
+	Steps         []PathStep `json:"steps,omitempty"`
+}
+
+// Comm returns the total communication time on the path.
+func (c CriticalPath) Comm() float64 { return c.IntraSite + c.InterSite }
+
+// Sum returns compute + comm + idle; it equals Total up to rounding.
+func (c CriticalPath) Sum() float64 { return c.Compute + c.Comm() + c.Idle }
+
+// String renders the decomposition as a short report.
+func (c CriticalPath) String() string {
+	var b strings.Builder
+	pct := func(v float64) float64 {
+		if c.Total <= 0 {
+			return 0
+		}
+		return 100 * v / c.Total
+	}
+	fmt.Fprintf(&b, "critical path: %.6f s ending on rank %d (%d message hops, %d inter-site)\n",
+		c.Total, c.EndRank, c.Msgs, c.InterSiteMsgs)
+	fmt.Fprintf(&b, "  compute         %12.6f s  %5.1f%%\n", c.Compute, pct(c.Compute))
+	fmt.Fprintf(&b, "  intra-site comm %12.6f s  %5.1f%%\n", c.IntraSite, pct(c.IntraSite))
+	fmt.Fprintf(&b, "  inter-site comm %12.6f s  %5.1f%%\n", c.InterSite, pct(c.InterSite))
+	fmt.Fprintf(&b, "  idle            %12.6f s  %5.1f%%\n", c.Idle, pct(c.Idle))
+	return b.String()
+}
+
+// timeEps absorbs float64 rounding when matching span boundaries.
+func timeEps(total float64) float64 { return 1e-12 * (1 + total) }
+
+// AnalyzeCriticalPath walks the span DAG and returns the longest path
+// decomposition. Wait spans with no recorded matching send are charged
+// entirely to communication on the receiver (hand-built or truncated
+// traces stay analyzable).
+func AnalyzeCriticalPath(t *Trace) CriticalPath {
+	n := t.Ranks()
+	timelines := make([][]Span, n)
+	ends := make([]float64, n)
+	for r := 0; r < n; r++ {
+		timelines[r] = t.Timeline(r)
+		if tl := timelines[r]; len(tl) > 0 {
+			ends[r] = tl[len(tl)-1].End
+		}
+	}
+	endRank := 0
+	for r, e := range ends {
+		if e > ends[endRank] {
+			endRank = r
+		}
+	}
+	total := t.EndTime()
+	cp := CriticalPath{Total: total, EndRank: endRank}
+	sends := t.sendIndex()
+	eps := timeEps(total)
+
+	rank, now := endRank, total
+	// The final clock may exceed the last span end (Sleep, or trailing
+	// ranks): that tail is idle.
+	if tail := now - ends[rank]; tail > eps {
+		cp.Idle += tail
+		cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "idle", Start: ends[rank], End: now, Link: LinkNone, FromRank: -1})
+		now = ends[rank]
+	}
+	for now > eps {
+		s, ok := lastSpanBefore(timelines[rank], now, eps)
+		if !ok {
+			// Nothing earlier on this rank: it idled from time zero.
+			cp.Idle += now
+			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "idle", Start: 0, End: now, Link: LinkNone, FromRank: -1})
+			break
+		}
+		if gap := now - s.End; gap > eps {
+			cp.Idle += gap
+			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "idle", Start: s.End, End: now, Link: LinkNone, FromRank: -1})
+		}
+		now = s.End
+		switch s.Kind {
+		case SpanCompute:
+			cp.Compute += s.Dur()
+			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "compute", Name: s.Name,
+				Start: s.Start, End: s.End, Link: LinkNone, FromRank: -1})
+			now = s.Start
+		case SpanWait:
+			sendT, haveSend := sends[flowKey{s.FlowFrom, s.FlowSeq}]
+			if !haveSend || sendT < s.Start {
+				sendT = s.Start // transfer fills (at least) the whole wait
+			}
+			comm := s.End - sendT
+			if s.Link == LinkInterCluster {
+				cp.InterSite += comm
+			} else {
+				cp.IntraSite += comm
+			}
+			cp.Msgs++
+			if s.CrossSite {
+				cp.InterSiteMsgs++
+			}
+			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "comm", Name: s.Name,
+				Start: sendT, End: s.End, Link: s.Link, FromRank: s.FlowFrom})
+			if haveSend && sendT > s.Start+eps {
+				// The message left after the wait began: the path
+				// continues on the sender at departure time.
+				rank, now = s.FlowFrom, sendT
+			} else {
+				now = s.Start
+			}
+		}
+	}
+	// Steps were collected walking backwards; flip to time order.
+	for i, j := 0, len(cp.Steps)-1; i < j; i, j = i+1, j-1 {
+		cp.Steps[i], cp.Steps[j] = cp.Steps[j], cp.Steps[i]
+	}
+	return cp
+}
+
+// lastSpanBefore returns the latest timeline span whose end is at or
+// before now (within eps).
+func lastSpanBefore(spans []Span, now, eps float64) (Span, bool) {
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if spans[mid].End <= now+eps {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return Span{}, false
+	}
+	return spans[lo-1], true
+}

@@ -1,0 +1,227 @@
+package telemetry
+
+import "fmt"
+
+// The trace model: every rank owns one track of spans and instantaneous
+// events stamped with the producer's clock (virtual seconds in simulated
+// worlds). Message sends and receives carry a flow identity — the sender
+// rank plus a per-sender sequence number — giving the trace the
+// happens-before edges (send → recv, tree combine → parent) that the
+// critical-path analyzer walks and the Chrome exporter renders as flow
+// arrows.
+
+// Kind classifies a trace entry.
+type Kind uint8
+
+const (
+	// SpanCompute is a clock-advancing kernel execution (Name = kernel,
+	// Flops = charged operation count).
+	SpanCompute Kind = iota
+	// SpanWait is a receiver blocked until a message arrived; its flow
+	// fields name the message that released it.
+	SpanWait
+	// SpanPhase is an algorithm phase or collective; phases may nest and
+	// overlay the compute/wait timeline of the same rank.
+	SpanPhase
+	// EventSend is an instantaneous message departure on the sender.
+	EventSend
+	// EventRecv is a message matched with no wait (the flow endpoint when
+	// the message arrived before the receiver asked).
+	EventRecv
+	// EventFault is an injected-fault annotation: Fault names the kind
+	// ("drop", "delay", "retransmit", "kill"), Value carries the
+	// kind-specific magnitude (delay seconds, retry attempt index).
+	EventFault
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SpanCompute:
+		return "compute"
+	case SpanWait:
+		return "wait"
+	case SpanPhase:
+		return "phase"
+	case EventSend:
+		return "send"
+	case EventRecv:
+		return "recv"
+	default:
+		return "fault"
+	}
+}
+
+// Link classes, mirroring grid.LinkClass without importing it (telemetry
+// stays standard-library-only).
+const (
+	LinkNone         int8 = -1
+	LinkIntraNode    int8 = 0
+	LinkIntraCluster int8 = 1
+	LinkInterCluster int8 = 2
+)
+
+// LinkName returns a human-readable link class name.
+func LinkName(link int8) string {
+	switch link {
+	case LinkIntraNode:
+		return "intra-node"
+	case LinkIntraCluster:
+		return "intra-cluster"
+	case LinkInterCluster:
+		return "inter-cluster"
+	default:
+		return "none"
+	}
+}
+
+// Span is one trace entry. Instant kinds have End == Start.
+type Span struct {
+	Rank       int
+	Kind       Kind
+	Name       string // kernel or phase name; "" for raw comm entries
+	Start, End float64
+
+	// Communication attributes (Peer < 0 when not applicable).
+	Peer      int
+	Bytes     float64
+	Tag       int
+	Link      int8
+	CrossSite bool
+
+	// Flow identity of the bound message: sender world rank and the
+	// sender's per-message sequence number (FlowSeq < 0 = no flow).
+	FlowFrom int
+	FlowSeq  int64
+
+	// Compute attributes.
+	Flops float64
+
+	// Fault attributes (EventFault only).
+	Fault string
+	Value float64
+}
+
+// Dur returns the span duration.
+func (s Span) Dur() float64 { return s.End - s.Start }
+
+// Trace is a per-rank collection of spans. During a run each rank's
+// goroutine appends only to its own track, so recording needs no locks;
+// readers must wait for the run to finish (the same discipline the mpi
+// world imposes on its clocks).
+type Trace struct {
+	// Sites maps rank → geographical site index; SiteNames names the
+	// sites. Both are optional (nil = single unnamed site).
+	Sites     []int
+	SiteNames []string
+	// Duration is the total run time (max final clock). Zero means
+	// "derive from the spans".
+	Duration float64
+
+	tracks [][]Span
+	open   [][]int // per-rank stack of open SpanPhase indices
+}
+
+// NewTrace creates an empty trace with the given number of ranks.
+func NewTrace(ranks int) *Trace {
+	return &Trace{tracks: make([][]Span, ranks), open: make([][]int, ranks)}
+}
+
+// Ranks returns the number of tracks.
+func (t *Trace) Ranks() int { return len(t.tracks) }
+
+// Track returns one rank's spans in recording order.
+func (t *Trace) Track(rank int) []Span { return t.tracks[rank] }
+
+// Add appends a span to its rank's track.
+func (t *Trace) Add(s Span) {
+	if s.Rank < 0 || s.Rank >= len(t.tracks) {
+		panic(fmt.Sprintf("telemetry: span rank %d out of range", s.Rank))
+	}
+	t.tracks[s.Rank] = append(t.tracks[s.Rank], s)
+}
+
+// BeginPhase opens a nested phase span on a rank at the given time.
+func (t *Trace) BeginPhase(rank int, name string, now float64) {
+	t.tracks[rank] = append(t.tracks[rank], Span{
+		Rank: rank, Kind: SpanPhase, Name: name, Start: now, End: now, Peer: -1, Link: LinkNone, FlowSeq: -1,
+	})
+	t.open[rank] = append(t.open[rank], len(t.tracks[rank])-1)
+}
+
+// EndPhase closes the innermost open phase of a rank at the given time.
+func (t *Trace) EndPhase(rank int, now float64) {
+	stack := t.open[rank]
+	if len(stack) == 0 {
+		panic("telemetry: EndPhase without BeginPhase")
+	}
+	idx := stack[len(stack)-1]
+	t.open[rank] = stack[:len(stack)-1]
+	t.tracks[rank][idx].End = now
+}
+
+// SiteOf returns a rank's site (0 when no topology was attached).
+func (t *Trace) SiteOf(rank int) int {
+	if t.Sites == nil {
+		return 0
+	}
+	return t.Sites[rank]
+}
+
+// NumSites returns the number of sites spanned by the topology.
+func (t *Trace) NumSites() int {
+	n := 1
+	for _, s := range t.Sites {
+		if s+1 > n {
+			n = s + 1
+		}
+	}
+	return n
+}
+
+// EndTime returns the run duration: the explicit Duration when set,
+// otherwise the latest span end.
+func (t *Trace) EndTime() float64 {
+	if t.Duration > 0 {
+		return t.Duration
+	}
+	var m float64
+	for _, track := range t.tracks {
+		for _, s := range track {
+			if s.End > m {
+				m = s.End
+			}
+		}
+	}
+	return m
+}
+
+// Timeline returns one rank's clock-advancing spans (compute and wait)
+// in time order; these partition the rank's busy time and never overlap.
+func (t *Trace) Timeline(rank int) []Span {
+	var out []Span
+	for _, s := range t.tracks[rank] {
+		if s.Kind == SpanCompute || s.Kind == SpanWait {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// flowKey identifies one message across the trace.
+type flowKey struct {
+	from int
+	seq  int64
+}
+
+// sendIndex maps every flow to its departure time.
+func (t *Trace) sendIndex() map[flowKey]float64 {
+	idx := make(map[flowKey]float64)
+	for _, track := range t.tracks {
+		for _, s := range track {
+			if s.Kind == EventSend && s.FlowSeq >= 0 {
+				idx[flowKey{s.Rank, s.FlowSeq}] = s.Start
+			}
+		}
+	}
+	return idx
+}
