@@ -113,7 +113,9 @@ func (c *Ctx) ChargeKernel(kernel string, flopCount float64, panelN int) {
 	start := c.world.clocks[c.rank]
 	c.world.clocks[c.rank] = start + dur
 	c.world.compute[c.rank] += dur
-	if c.tracing() {
+	if c.tracing() && dur > 0 {
+		// Zero-flop charges (degenerate panel shapes) advance nothing and
+		// would only clutter the trace with zero-duration spans.
 		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanCompute,
 			Name: kernel, Start: start, End: start + dur, Peer: -1,
 			Link: telemetry.LinkNone, FlowSeq: -1, Flops: flopCount})

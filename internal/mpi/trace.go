@@ -48,7 +48,7 @@ type Event struct {
 	Start, End float64
 	Peer       int // counterpart rank for Wait/Send; -1 for compute
 	Bytes      float64
-	Class      grid.LinkClass // meaningful for Wait/Send
+	Class      grid.LinkClass // populated for Wait/Send only; zero value otherwise
 }
 
 // Traced enables trace collection on a virtual world.
@@ -74,15 +74,14 @@ func (w *World) Events() [][]Event {
 	}
 	for r := 0; r < w.n; r++ {
 		for _, s := range w.trace.Track(r) {
-			e := Event{Rank: r, Start: s.Start, End: s.End, Peer: s.Peer,
-				Bytes: s.Bytes, Class: grid.LinkClass(max(0, int(s.Link)))}
+			e := Event{Rank: r, Start: s.Start, End: s.End, Peer: s.Peer, Bytes: s.Bytes}
 			switch s.Kind {
 			case telemetry.SpanCompute:
 				e.Kind, e.Peer = EventCompute, -1
 			case telemetry.SpanWait:
-				e.Kind = EventWait
+				e.Kind, e.Class = EventWait, grid.LinkClass(max(0, int(s.Link)))
 			case telemetry.EventSend:
-				e.Kind = EventSend
+				e.Kind, e.Class = EventSend, grid.LinkClass(max(0, int(s.Link)))
 			case telemetry.EventFault:
 				e.Kind = EventFault
 			default:

@@ -80,6 +80,29 @@ func TestModelVsMeasuredPDGEQR2(t *testing.T) {
 	}
 }
 
+// TestCriticalPathSmallM is an end-to-end regression test for a hang:
+// with M small enough that some ranks own fewer rows than there are
+// columns, panelQR2 charges larfg with 3*activeRows == 0 flops, and the
+// zero-duration spans those used to record made AnalyzeCriticalPath
+// loop forever. The analysis must terminate and decompose exactly.
+func TestCriticalPathSmallM(t *testing.T) {
+	const m, n = 8, 8 // 4 ranks × 2 rows each, fewer rows than columns
+	g := grid.SmallTestGrid(2, 2, 1)
+	w := mpi.NewWorld(g, mpi.CostOnly(), mpi.Traced())
+	w.Run(func(ctx *mpi.Ctx) {
+		scalapack.PDGEQR2(mpi.WorldComm(ctx), scalapack.Input{
+			M: m, N: n, Offsets: scalapack.BlockOffsets(m, g.Procs())})
+	})
+	tr := w.Trace()
+	cp := telemetry.AnalyzeCriticalPath(tr)
+	if cp.Total <= 0 {
+		t.Fatalf("critical path total = %g, want > 0", cp.Total)
+	}
+	if math.Abs(cp.Sum()-cp.Total) > 1e-9*cp.Total {
+		t.Fatalf("decomposition sum %g != total %g", cp.Sum(), cp.Total)
+	}
+}
+
 // TestTableIMessageRatio reproduces the paper's Table I headline on the
 // measured side: per column of the critical path, ScaLAPACK pays ~2
 // allreduces where TSQR pays a single reduction tree, so total TSQR

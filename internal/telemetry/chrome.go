@@ -32,6 +32,11 @@ type chromeEvent struct {
 
 const usPerSecond = 1e6
 
+// recvAnchorUs is the duration (µs) of the instant slice emitted for a
+// no-wait receive: flow-finish events only render when they land inside
+// a slice on their thread, so each bare recv gets a 1 ns anchor.
+const recvAnchorUs = 1e-3
+
 // WriteChromeTrace writes the trace in Chrome trace_event JSON array
 // format, one event per line, deterministically ordered (metadata, then
 // tracks in rank order, spans in recording order).
@@ -91,6 +96,11 @@ func WriteChromeTrace(w io.Writer, t *Trace) error {
 				})
 			case EventRecv:
 				if s.FlowSeq >= 0 {
+					dur := recvAnchorUs
+					events = append(events, chromeEvent{
+						Name: "recv", Ph: "X", Pid: pid, Tid: r, Ts: ts, Dur: &dur,
+						Cat: "wait", Args: commArgs(s),
+					})
 					events = append(events, chromeEvent{
 						Name: "msg", Ph: "f", Pid: pid, Tid: r, Ts: ts,
 						Cat: "flow", ID: flowID(s.FlowFrom, s.FlowSeq), BP: "e",

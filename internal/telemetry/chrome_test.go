@@ -83,9 +83,9 @@ func TestChromeWellFormed(t *testing.T) {
 			instants++
 		}
 	}
-	// 6 compute/wait spans + 1 phase in the golden trace.
-	if complete != 7 {
-		t.Fatalf("complete events = %d, want 7", complete)
+	// 6 compute/wait spans + 1 phase + 1 no-wait recv anchor slice.
+	if complete != 8 {
+		t.Fatalf("complete events = %d, want 8", complete)
 	}
 	if instants != 1 {
 		t.Fatalf("instant events = %d, want 1 fault", instants)

@@ -74,15 +74,26 @@ func timeEps(total float64) float64 { return 1e-12 * (1 + total) }
 // AnalyzeCriticalPath walks the span DAG and returns the longest path
 // decomposition. Wait spans with no recorded matching send are charged
 // entirely to communication on the receiver (hand-built or truncated
-// traces stay analyzable).
+// traces stay analyzable). Zero-duration spans (e.g. a kernel charged
+// with zero flops) contribute nothing to any path and are dropped
+// before the walk so the backward traversal always makes progress.
 func AnalyzeCriticalPath(t *Trace) CriticalPath {
 	n := t.Ranks()
+	total := t.EndTime()
+	eps := timeEps(total)
 	timelines := make([][]Span, n)
 	ends := make([]float64, n)
 	for r := 0; r < n; r++ {
-		timelines[r] = t.Timeline(r)
-		if tl := timelines[r]; len(tl) > 0 {
-			ends[r] = tl[len(tl)-1].End
+		tl := t.Timeline(r)
+		kept := tl[:0]
+		for _, s := range tl {
+			if s.Dur() > eps {
+				kept = append(kept, s)
+			}
+		}
+		timelines[r] = kept
+		if len(kept) > 0 {
+			ends[r] = kept[len(kept)-1].End
 		}
 	}
 	endRank := 0
@@ -91,10 +102,17 @@ func AnalyzeCriticalPath(t *Trace) CriticalPath {
 			endRank = r
 		}
 	}
-	total := t.EndTime()
 	cp := CriticalPath{Total: total, EndRank: endRank}
 	sends := t.sendIndex()
-	eps := timeEps(total)
+
+	// cursors[r] bounds the unvisited prefix of rank r's timeline: each
+	// iteration consumes exactly one span, so the walk terminates after
+	// at most the total span count even if timestamps fail to decrease
+	// (degenerate hand-built traces).
+	cursors := make([]int, n)
+	for r := range cursors {
+		cursors[r] = len(timelines[r])
+	}
 
 	rank, now := endRank, total
 	// The final clock may exceed the last span end (Sleep, or trailing
@@ -105,13 +123,15 @@ func AnalyzeCriticalPath(t *Trace) CriticalPath {
 		now = ends[rank]
 	}
 	for now > eps {
-		s, ok := lastSpanBefore(timelines[rank], now, eps)
+		i, ok := lastSpanBefore(timelines[rank][:cursors[rank]], now, eps)
 		if !ok {
 			// Nothing earlier on this rank: it idled from time zero.
 			cp.Idle += now
 			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "idle", Start: 0, End: now, Link: LinkNone, FromRank: -1})
 			break
 		}
+		cursors[rank] = i
+		s := timelines[rank][i]
 		if gap := now - s.End; gap > eps {
 			cp.Idle += gap
 			cp.Steps = append(cp.Steps, PathStep{Rank: rank, Kind: "idle", Start: s.End, End: now, Link: LinkNone, FromRank: -1})
@@ -127,6 +147,9 @@ func AnalyzeCriticalPath(t *Trace) CriticalPath {
 			sendT, haveSend := sends[flowKey{s.FlowFrom, s.FlowSeq}]
 			if !haveSend || sendT < s.Start {
 				sendT = s.Start // transfer fills (at least) the whole wait
+			}
+			if sendT > s.End {
+				sendT = s.End // malformed trace: departure after the wait ended
 			}
 			comm := s.End - sendT
 			if s.Link == LinkInterCluster {
@@ -156,9 +179,9 @@ func AnalyzeCriticalPath(t *Trace) CriticalPath {
 	return cp
 }
 
-// lastSpanBefore returns the latest timeline span whose end is at or
-// before now (within eps).
-func lastSpanBefore(spans []Span, now, eps float64) (Span, bool) {
+// lastSpanBefore returns the index of the latest timeline span whose end
+// is at or before now (within eps).
+func lastSpanBefore(spans []Span, now, eps float64) (int, bool) {
 	lo, hi := 0, len(spans)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -169,7 +192,7 @@ func lastSpanBefore(spans []Span, now, eps float64) (Span, bool) {
 		}
 	}
 	if lo == 0 {
-		return Span{}, false
+		return 0, false
 	}
-	return spans[lo-1], true
+	return lo - 1, true
 }

@@ -108,6 +108,33 @@ func TestCriticalPathWaitWithoutSend(t *testing.T) {
 	}
 }
 
+// TestCriticalPathZeroDurationSpans is a regression test for a hang:
+// the backward walk used to re-find a Start==End span forever because
+// `now` never decreased past it. Zero-flop kernel charges produced
+// exactly such spans in real runs.
+func TestCriticalPathZeroDurationSpans(t *testing.T) {
+	tr := NewTrace(1)
+	tr.Add(Span{Rank: 0, Kind: SpanCompute, Name: "z0", Start: 0, End: 0, Peer: -1, Link: LinkNone, FlowSeq: -1})
+	tr.Add(Span{Rank: 0, Kind: SpanCompute, Name: "work", Start: 0, End: 1, Peer: -1, Link: LinkNone, FlowSeq: -1})
+	tr.Add(Span{Rank: 0, Kind: SpanCompute, Name: "z1", Start: 1, End: 1, Peer: -1, Link: LinkNone, FlowSeq: -1})
+	cp := AnalyzeCriticalPath(tr)
+	if !approx(cp.Total, 1) || !approx(cp.Compute, 1) || !approx(cp.Idle, 0) {
+		t.Fatalf("total=%g compute=%g idle=%g, want 1/1/0", cp.Total, cp.Compute, cp.Idle)
+	}
+	if !approx(cp.Sum(), cp.Total) {
+		t.Fatalf("sum %g != total %g", cp.Sum(), cp.Total)
+	}
+
+	// All-zero-duration trace: everything is idle, nothing loops.
+	tr2 := NewTrace(1)
+	tr2.Add(Span{Rank: 0, Kind: SpanCompute, Name: "z", Start: 0.5, End: 0.5, Peer: -1, Link: LinkNone, FlowSeq: -1})
+	tr2.Duration = 0.5
+	cp2 := AnalyzeCriticalPath(tr2)
+	if !approx(cp2.Total, 0.5) || !approx(cp2.Idle, 0.5) || !approx(cp2.Compute, 0) {
+		t.Fatalf("all-zero trace: %+v", cp2)
+	}
+}
+
 func TestCriticalPathEmpty(t *testing.T) {
 	cp := AnalyzeCriticalPath(NewTrace(2))
 	if cp.Total != 0 || cp.Sum() != 0 || len(cp.Steps) != 0 {

@@ -60,6 +60,27 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramRejectsBadSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(2)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 1 || h.Sum() != 2 || h.Mean() != 2 {
+		t.Fatalf("non-finite samples leaked in: count=%d sum=%g mean=%g", h.Count(), h.Sum(), h.Mean())
+	}
+	if q := h.Quantile(0.99); math.IsNaN(q) {
+		t.Fatalf("quantile poisoned: %g", q)
+	}
+	h.Observe(-5) // clamps to zero: counted, but adds nothing to the sum
+	if h.Count() != 2 || h.Sum() != 2 {
+		t.Fatalf("negative sample mishandled: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	if h.Max() != 2 {
+		t.Fatalf("max = %g, want 2", h.Max())
+	}
+}
+
 // TestConcurrentMetrics exercises the lock-free update paths from many
 // goroutines; `make race` runs this under the race detector.
 func TestConcurrentMetrics(t *testing.T) {

@@ -101,8 +101,16 @@ func BucketUpper(i int) float64 {
 	return histMin * math.Pow(histGrowth, float64(i+1)/2)
 }
 
-// Observe records one sample.
+// Observe records one sample. Non-finite samples are dropped and
+// negatives clamp to zero, so a stray NaN or underflow cannot poison
+// Sum, Mean or Quantile for the whole histogram.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	h.buckets[bucketOf(v)].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
