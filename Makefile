@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check fuzz bench
+.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime (incl. fault injection), the TSQR/FT-TSQR paths and the
-# lock-free telemetry registry must be race-clean; short mode keeps this
-# fast enough for every commit.
+# The runtime (incl. fault injection and nonblocking requests), the
+# TSQR/FT-TSQR paths, the lookahead ScaLAPACK variant and the lock-free
+# telemetry registry must be race-clean; short mode keeps this fast
+# enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/telemetry
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +25,19 @@ fmt-check:
 	fi
 
 check: build vet fmt-check test race
+
+# Perf-regression gate: re-run the standard benchmark set and fail on
+# any drift from the committed baseline (message/flop counts exact,
+# bytes and simulated seconds within tight relative tolerance).
+BASELINE ?= results/BENCH_3.json
+
+perfgate:
+	$(GO) run ./cmd/gridbench -baseline $(BASELINE)
+
+# Regenerate the committed baseline after an intentional change to the
+# algorithms' communication or computation structure.
+baseline:
+	$(GO) run ./cmd/gridbench -json $(BASELINE)
 
 fuzz:
 	$(GO) test -fuzz=FuzzHouseholderQR -fuzztime=15s ./internal/lapack

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,7,8,table1,table2,messages,breakdown,ablation,trace,weak,straggler,faults,model,all")
+	fig := flag.String("fig", "all", "which figure/table to regenerate: 3,4,5,6,7,8,table1,table2,messages,breakdown,ablation,overlap,trace,weak,straggler,faults,model,all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	faults := flag.Bool("faults", false, "run only the FT-TSQR resilience table (fault-injection sweep); same as -fig faults")
 	platform := flag.String("platform", "", "JSON platform file (default: the paper's Grid'5000)")
@@ -33,6 +33,8 @@ func main() {
 	traceOut := flag.String("trace", "", "run a traced 2-site TSQR benchmark and write a Chrome/Perfetto trace_event JSON file (load in ui.perfetto.dev)")
 	metrics := flag.Bool("metrics", false, "run the traced benchmark and print its metrics registry, critical path and per-site communication matrix")
 	jsonOut := flag.String("json", "", "run the standard benchmark set and write a machine-readable JSON report")
+	baseline := flag.String("baseline", "", "re-run the standard benchmark set and fail if it drifts from this committed JSON report (the CI perf gate)")
+	overlap := flag.Bool("overlap", false, "use the compute/communication-overlap variants in the traced benchmark (-trace/-metrics)")
 	flag.Parse()
 	if *faults {
 		*fig = "faults"
@@ -70,7 +72,16 @@ func main() {
 		if *fig == "all" {
 			*fig = "" // telemetry flags alone skip the figure sweeps
 		}
-		telemetryRun(g, *traceOut, *metrics)
+		telemetryRun(g, *traceOut, *metrics, *overlap)
+	}
+	if *baseline != "" {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		if !perfGate(g, *baseline, platformName(*platform)) {
+			os.Exit(1)
+		}
 	}
 	if *jsonOut != "" {
 		ran = true
@@ -144,6 +155,12 @@ func main() {
 		ran = true
 		m, n, d := 1<<21, 64, 16
 		fmt.Println(bench.FormatAblation(m, n, d, bench.TreeAblation(g, m, n, d)))
+	}
+	if want("overlap") {
+		ran = true
+		mt, nt, mq, nq, nb := 1<<20, 64, 1<<18, 256, 32
+		fmt.Println(bench.FormatOverlap(mt, nt, mq, nq, nb,
+			bench.OverlapStudy(g, mt, nt, mq, nq, nb)))
 	}
 	if want("breakdown") {
 		ran = true
@@ -256,18 +273,51 @@ func platformName(path string) string {
 	return path
 }
 
+// perfGate re-runs the standard benchmark set and compares it against
+// the committed baseline report; it prints every drift line and returns
+// false if any metric moved beyond tolerance.
+func perfGate(g *grid.Grid, baselinePath, platform string) bool {
+	f, err := os.Open(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	}
+	want, err := bench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	}
+	got := bench.BuildReport(platform, bench.StandardReportRuns(g))
+	diffs := bench.CompareReports(got, want, bench.Tolerances{})
+	if len(diffs) == 0 {
+		fmt.Printf("perf gate: %d baseline runs match within tolerance\n", len(want.Runs))
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "perf gate: %d drift(s) from %s:\n", len(diffs), baselinePath)
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	fmt.Fprintln(os.Stderr, "if the change is intentional, regenerate the baseline with: gridbench -json "+baselinePath)
+	return false
+}
+
 // telemetryRun executes the canonical traced benchmark — a 2-site TSQR
-// factorization at the paper's N = 64 — and renders its telemetry:
-// optionally a Chrome trace_event file for Perfetto, and optionally the
-// metrics registry, critical-path decomposition and per-site
-// communication matrix on stdout.
-func telemetryRun(g *grid.Grid, traceOut string, metrics bool) {
+// factorization at the paper's N = 64, or its overlapped variant — and
+// renders its telemetry: optionally a Chrome trace_event file for
+// Perfetto, and optionally the metrics registry, critical-path
+// decomposition and per-site communication matrix on stdout.
+func telemetryRun(g *grid.Grid, traceOut string, metrics, overlap bool) {
 	sites := min(2, len(g.Clusters))
 	r := bench.Run{Grid: g, Sites: sites, M: 1 << 20, N: 64,
-		Algo: bench.TSQR, Tree: core.TreeGrid, Traced: true}
+		Algo: bench.TSQR, Tree: core.TreeGrid, Overlap: overlap, Traced: true}
 	m := bench.Execute(r)
-	fmt.Printf("== Traced run: TSQR M=2^20 N=64 on %d site(s), %d procs ==\n",
-		sites, g.Sites(sites).Procs())
+	variant := ""
+	if overlap {
+		variant = " (overlapped)"
+	}
+	fmt.Printf("== Traced run: TSQR%s M=2^20 N=64 on %d site(s), %d procs ==\n",
+		variant, sites, g.Sites(sites).Procs())
 	fmt.Printf("simulated time %.6f s, %.1f Gflop/s (model %.1f)\n\n",
 		m.Seconds, m.Gflops, m.ModelGflops)
 	fmt.Print(m.CriticalPath.String())

@@ -69,6 +69,84 @@ func TestGridbenchCSVAndPlatform(t *testing.T) {
 	}
 }
 
+// TestGridbenchPerfGate exercises the CI gate end to end on a small
+// platform: -json writes a baseline, -baseline passes against it, and a
+// tampered baseline fails with a drift message.
+func TestGridbenchPerfGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+	platform := filepath.Join(dir, "p.json")
+	os.WriteFile(platform, []byte(`{
+  "clusters": [
+    {"name": "x", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900},
+    {"name": "y", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900}
+  ],
+  "links": [{"from": "x", "to": "y", "latencyMs": 7, "mbps": 90}]
+}`), 0o644)
+	baseline := filepath.Join(dir, "bench.json")
+	if out, err := exec.Command(bin, "-platform", platform, "-json", baseline).CombinedOutput(); err != nil {
+		t.Fatalf("-json: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-platform", platform, "-baseline", baseline).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gate failed against its own baseline: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "match within tolerance") {
+		t.Fatalf("gate output:\n%s", out)
+	}
+	// Tamper with one message count: the gate must fail and say why.
+	data, _ := os.ReadFile(baseline)
+	tampered := strings.Replace(string(data), `"msgs": `, `"msgs": 1`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper failed to change the report")
+	}
+	os.WriteFile(baseline, []byte(tampered), 0o644)
+	out, err = exec.Command(bin, "-platform", platform, "-baseline", baseline).CombinedOutput()
+	if err == nil {
+		t.Fatalf("gate passed a tampered baseline:\n%s", out)
+	}
+	if !strings.Contains(string(out), "msgs") || !strings.Contains(string(out), "regenerate") {
+		t.Fatalf("drift output unhelpful:\n%s", out)
+	}
+}
+
+// TestGridbenchOverlapFigure smoke-runs the overlap ablation table and
+// the overlapped traced benchmark on a small platform.
+func TestGridbenchOverlapFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+	platform := filepath.Join(dir, "p.json")
+	os.WriteFile(platform, []byte(`{
+  "clusters": [
+    {"name": "x", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900},
+    {"name": "y", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900}
+  ],
+  "links": [{"from": "x", "to": "y", "latencyMs": 7, "mbps": 90}]
+}`), 0o644)
+	out, err := exec.Command(bin, "-platform", platform, "-fig", "overlap").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-fig overlap: %v\n%s", err, out)
+	}
+	for _, want := range []string{"TSQR overlapped", "ScaLAPACK lookahead", "inter wait (s)"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-fig overlap missing %q:\n%s", want, out)
+		}
+	}
+	out, err = exec.Command(bin, "-platform", platform, "-metrics", "-overlap").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-metrics -overlap: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "TSQR (overlapped)") {
+		t.Fatalf("-overlap not reflected in traced run header:\n%s", out)
+	}
+}
+
 func TestGridbenchUnknownFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration skipped in -short mode")

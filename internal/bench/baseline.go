@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Baseline comparison: the CI perf gate re-runs the standard benchmark
+// set and diffs it against the committed results/BENCH_*.json. The
+// simulation is deterministic — message and flop counts follow exactly
+// from the algorithms' communication structure — so counts must match
+// exactly, and accumulated floats (bytes, flops, simulated seconds)
+// within tight relative tolerances. Any drift means a code change
+// altered the communication or computation structure and the baseline
+// must be regenerated deliberately.
+
+// Tolerances for CompareReports. Zero values select the defaults.
+type Tolerances struct {
+	RelBytes   float64 // relative tolerance on byte totals (default 1e-9)
+	RelFlops   float64 // relative tolerance on flop totals (default 1e-9)
+	RelSeconds float64 // relative tolerance on simulated seconds (default 1e-6)
+}
+
+func (t Tolerances) withDefaults() Tolerances {
+	if t.RelBytes == 0 {
+		t.RelBytes = 1e-9
+	}
+	if t.RelFlops == 0 {
+		t.RelFlops = 1e-9
+	}
+	if t.RelSeconds == 0 {
+		t.RelSeconds = 1e-6
+	}
+	return t
+}
+
+// configKey identifies a run by its configuration, so reports can be
+// matched even if run order or the set of runs changes between versions.
+func configKey(r ReportRun) string {
+	return fmt.Sprintf("%s/%s/sites=%d/m=%d/n=%d/d=%d/q=%t/nb=%d/nx=%d/overlap=%t",
+		r.Algo, r.Tree, r.Sites, r.M, r.N, r.Domains, r.WantQ, r.NB, r.NX, r.Overlap)
+}
+
+// ReadReport parses a JSON report written by WriteJSON.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("bench: bad baseline report: %w", err)
+	}
+	return rep, nil
+}
+
+// CompareReports diffs a freshly measured report against a committed
+// baseline and returns one human-readable line per mismatch (empty means
+// the gate passes). Baseline runs missing from the measured report are
+// mismatches — a silently dropped benchmark must not pass the gate —
+// while extra measured runs are allowed, so new benchmark points can be
+// added before the baseline is regenerated.
+func CompareReports(got, want Report, tol Tolerances) []string {
+	tol = tol.withDefaults()
+	byKey := make(map[string]ReportRun, len(got.Runs))
+	for _, r := range got.Runs {
+		byKey[configKey(r)] = r
+	}
+	var diffs []string
+	relOff := func(a, b float64) float64 {
+		return math.Abs(a-b) / math.Max(1, math.Abs(b))
+	}
+	for _, w := range want.Runs {
+		key := configKey(w)
+		g, ok := byKey[key]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", key))
+			continue
+		}
+		if g.Msgs != w.Msgs {
+			diffs = append(diffs, fmt.Sprintf("%s: msgs %d != baseline %d", key, g.Msgs, w.Msgs))
+		}
+		if g.InterSiteMsgs != w.InterSiteMsgs {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-site msgs %d != baseline %d",
+				key, g.InterSiteMsgs, w.InterSiteMsgs))
+		}
+		if off := relOff(g.Bytes, w.Bytes); off > tol.RelBytes {
+			diffs = append(diffs, fmt.Sprintf("%s: bytes %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.Bytes, w.Bytes, off, tol.RelBytes))
+		}
+		if off := relOff(g.Flops, w.Flops); off > tol.RelFlops {
+			diffs = append(diffs, fmt.Sprintf("%s: flops %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.Flops, w.Flops, off, tol.RelFlops))
+		}
+		if off := relOff(g.Seconds, w.Seconds); off > tol.RelSeconds {
+			diffs = append(diffs, fmt.Sprintf("%s: seconds %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.Seconds, w.Seconds, off, tol.RelSeconds))
+		}
+	}
+	return diffs
+}

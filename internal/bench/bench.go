@@ -47,6 +47,15 @@ type Run struct {
 	DomainsPerCluster int
 	Tree              core.Tree
 	WantQ             bool
+	// NB and NX override ScaLAPACK's block size and crossover
+	// (0 = the paper's defaults). The standard N=64 runs sit below the
+	// default crossover and never block; overlap studies lower both so
+	// PDGEQRF actually performs block updates.
+	NB, NX int
+	// Overlap selects the compute/communication-overlap variants:
+	// posted-receive TSQR with the flat cross-site stage, or lookahead
+	// PDGEQRF. Traffic totals are identical to the blocking variants.
+	Overlap bool
 	// Traced records a structured telemetry trace and metrics registry
 	// during the run, enabling the critical-path and communication-matrix
 	// fields of the Measurement (small per-event overhead).
@@ -89,7 +98,12 @@ func Execute(r Run) Measurement {
 		switch r.Algo {
 		case ScaLAPACK:
 			in := scalapack.Input{M: r.M, N: r.N, Offsets: offsets}
-			f := scalapack.PDGEQRF(comm, in, 0, 0)
+			var f *scalapack.Factorization
+			if r.Overlap {
+				f = scalapack.PDGEQRFLookahead(comm, in, r.NB, r.NX)
+			} else {
+				f = scalapack.PDGEQRF(comm, in, r.NB, r.NX)
+			}
 			if r.WantQ {
 				scalapack.PDORG2R(comm, f)
 			}
@@ -99,6 +113,7 @@ func Execute(r Run) Measurement {
 				DomainsPerCluster: r.DomainsPerCluster,
 				Tree:              r.Tree,
 				WantQ:             r.WantQ,
+				Overlap:           r.Overlap,
 			})
 		}
 	})

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+)
+
+// TestOverlapStudy runs the ablation on a small multi-site grid and
+// checks the claims the committed table rests on: identical traffic
+// within each blocking/overlap pair, and strictly less measured wait and
+// makespan for the overlap variants.
+func TestOverlapStudy(t *testing.T) {
+	g := grid.SmallTestGrid(4, 2, 1)
+	rows := OverlapStudy(g, 1<<18, 64, 1<<16, 256, 32)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, pair := range [][2]OverlapRow{{rows[0], rows[1]}, {rows[2], rows[3]}} {
+		block, over := pair[0], pair[1]
+		if block.Overlap || !over.Overlap || block.Algo != over.Algo {
+			t.Fatalf("pair structure wrong: %+v / %+v", block, over)
+		}
+		if block.TotalMsgs != over.TotalMsgs || block.InterMsgs != over.InterMsgs {
+			t.Errorf("%s: overlap changed traffic: %d/%d msgs vs %d/%d",
+				block.Algo, over.TotalMsgs, over.InterMsgs, block.TotalMsgs, block.InterMsgs)
+		}
+		if over.Seconds >= block.Seconds {
+			t.Errorf("%s: overlap %gs not below blocking %gs", block.Algo, over.Seconds, block.Seconds)
+		}
+		if over.TotalWait >= block.TotalWait {
+			t.Errorf("%s: overlap wait %gs not below blocking %gs", block.Algo, over.TotalWait, block.TotalWait)
+		}
+	}
+	// The TSQR win is specifically on the inter-site critical path.
+	if rows[1].InterSiteWait >= rows[0].InterSiteWait {
+		t.Errorf("TSQR: overlapped inter-site wait %gs not below blocking %gs",
+			rows[1].InterSiteWait, rows[0].InterSiteWait)
+	}
+	out := FormatOverlap(1<<18, 64, 1<<16, 256, 32, rows)
+	for _, want := range []string{"TSQR blocking", "TSQR overlapped", "ScaLAPACK lookahead", "inter wait (s)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReportRoundTripAndCompare: the perf gate passes a report against
+// itself after a JSON round trip, and flags every class of drift.
+func TestReportRoundTripAndCompare(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	rep := BuildReport("test", []Run{
+		{Grid: g, Sites: 2, M: 1 << 14, N: 16, Algo: TSQR, Tree: core.TreeGrid},
+		{Grid: g, Sites: 2, M: 1 << 14, N: 16, Algo: TSQR, Tree: core.TreeGrid, Overlap: true},
+		{Grid: g, Sites: 2, M: 1 << 14, N: 32, Algo: ScaLAPACK, NB: 8, NX: 8},
+	})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := CompareReports(rep, want, Tolerances{}); len(diffs) != 0 {
+		t.Fatalf("self-comparison drifted:\n%s", strings.Join(diffs, "\n"))
+	}
+
+	// Each perturbation must surface as exactly one drift line.
+	perturb := []func(r *ReportRun){
+		func(r *ReportRun) { r.Msgs++ },
+		func(r *ReportRun) { r.InterSiteMsgs++ },
+		func(r *ReportRun) { r.Bytes *= 1.01 },
+		func(r *ReportRun) { r.Flops *= 1.01 },
+		func(r *ReportRun) { r.Seconds *= 1.01 },
+	}
+	for i, p := range perturb {
+		w := want
+		w.Runs = append([]ReportRun(nil), want.Runs...)
+		p(&w.Runs[0])
+		if diffs := CompareReports(rep, w, Tolerances{}); len(diffs) != 1 {
+			t.Errorf("perturbation %d: %d drifts, want 1: %v", i, len(diffs), diffs)
+		}
+	}
+
+	// A baseline run the measurement no longer covers fails the gate …
+	got := rep
+	got.Runs = rep.Runs[1:]
+	if diffs := CompareReports(got, want, Tolerances{}); len(diffs) != 1 ||
+		!strings.Contains(diffs[0], "not measured") {
+		t.Errorf("dropped run not flagged: %v", diffs)
+	}
+	// … while extra measured runs (new benchmarks) are allowed.
+	w := want
+	w.Runs = want.Runs[:2]
+	if diffs := CompareReports(rep, w, Tolerances{}); len(diffs) != 0 {
+		t.Errorf("extra measured run flagged: %v", diffs)
+	}
+}
+
+// TestReadReportRejectsGarbage guards the gate's error path.
+func TestReadReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -29,6 +29,9 @@ type ReportRun struct {
 	N       int    `json:"n"`
 	Domains int    `json:"domains_per_cluster,omitempty"`
 	WantQ   bool   `json:"want_q"`
+	NB      int    `json:"nb,omitempty"`
+	NX      int    `json:"nx,omitempty"`
+	Overlap bool   `json:"overlap,omitempty"`
 
 	Seconds      float64 `json:"seconds"`
 	Gflops       float64 `json:"gflops"`
@@ -57,6 +60,9 @@ func (r Run) report(m Measurement) ReportRun {
 		N:       r.N,
 		Domains: r.DomainsPerCluster,
 		WantQ:   r.WantQ,
+		NB:      r.NB,
+		NX:      r.NX,
+		Overlap: r.Overlap,
 
 		Seconds:      m.Seconds,
 		Gflops:       m.Gflops,
@@ -99,13 +105,20 @@ func (rep Report) WriteJSON(w io.Writer) error {
 
 // StandardReportRuns is the canonical benchmark set the -json flag
 // records: TSQR vs ScaLAPACK, one site vs all sites, at the paper's
-// N = 64 with a medium M that keeps the run a few seconds.
+// N = 64 with a medium M that keeps the run a few seconds; plus the
+// overlap variants against their blocking twins (the lookahead pair
+// runs at N = 256 with NB = NX = 32 so PDGEQRF actually performs block
+// updates — at N = 64 it sits below the default crossover).
 func StandardReportRuns(g *grid.Grid) []Run {
 	m, n := 1<<20, 64
+	all := len(g.Clusters)
 	return []Run{
 		{Grid: g, Sites: 1, M: m, N: n, Algo: TSQR, Tree: core.TreeGrid},
-		{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: TSQR, Tree: core.TreeGrid},
+		{Grid: g, Sites: all, M: m, N: n, Algo: TSQR, Tree: core.TreeGrid},
 		{Grid: g, Sites: 1, M: m, N: n, Algo: ScaLAPACK},
-		{Grid: g, Sites: len(g.Clusters), M: m, N: n, Algo: ScaLAPACK},
+		{Grid: g, Sites: all, M: m, N: n, Algo: ScaLAPACK},
+		{Grid: g, Sites: all, M: m, N: n, Algo: TSQR, Tree: core.TreeGrid, Overlap: true},
+		{Grid: g, Sites: all, M: 1 << 18, N: 256, Algo: ScaLAPACK, NB: 32, NX: 32},
+		{Grid: g, Sites: all, M: 1 << 18, N: 256, Algo: ScaLAPACK, NB: 32, NX: 32, Overlap: true},
 	}
 }

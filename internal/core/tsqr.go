@@ -34,7 +34,13 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 				d.id, rows, in.N))
 		}
 	}
-	sched, rootDom := buildSchedule(cfg.Tree, l, cfg.ShuffleSeed)
+	var sched []merge
+	var rootDom int
+	if cfg.Overlap && cfg.Tree == TreeGrid {
+		sched, rootDom = overlapSchedule(l)
+	} else {
+		sched, rootDom = buildSchedule(cfg.Tree, l, cfg.ShuffleSeed)
+	}
 	me := comm.Rank()
 	dom := l.mine(me)
 
@@ -50,30 +56,34 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	sentTo, sentTag := -1, -1
 	if me == dom.leader() {
 		combineDone := ctx.Phase("tsqr.combine")
-		for tag, m := range sched {
-			switch {
-			case m.dst == dom.id:
-				src := l.domains[m.src].leader()
-				rec := mergeRec{partner: src, tag: tag}
-				if ctx.HasData() {
-					rOther := unpackTriu(comm.Recv(src, rTagBase+tag), in.N)
-					r, rec.v, rec.tau = lapack.StackQR(r, rOther)
-				} else {
-					comm.Recv(src, rTagBase+tag)
+		if cfg.Overlap {
+			r, log, sentTo, sentTag = combineOverlap(comm, in, l, dom, sched, r)
+		} else {
+			for tag, m := range sched {
+				switch {
+				case m.dst == dom.id:
+					src := l.domains[m.src].leader()
+					rec := mergeRec{partner: src, tag: tag}
+					if ctx.HasData() {
+						rOther := unpackTriu(comm.Recv(src, rTagBase+tag), in.N)
+						r, rec.v, rec.tau = lapack.StackQR(r, rOther)
+					} else {
+						comm.Recv(src, rTagBase+tag)
+					}
+					ctx.ChargeKernel("stack_qr", flops.StackQR(in.N), in.N)
+					log = append(log, rec)
+				case m.src == dom.id:
+					dst := l.domains[m.dst].leader()
+					if ctx.HasData() {
+						comm.Send(dst, packTriu(r), rTagBase+tag)
+					} else {
+						comm.SendBytes(dst, triuBytes(in.N), rTagBase+tag)
+					}
+					sentTo, sentTag = dst, tag
 				}
-				ctx.ChargeKernel("stack_qr", flops.StackQR(in.N), in.N)
-				log = append(log, rec)
-			case m.src == dom.id:
-				dst := l.domains[m.dst].leader()
-				if ctx.HasData() {
-					comm.Send(dst, packTriu(r), rTagBase+tag)
-				} else {
-					comm.SendBytes(dst, triuBytes(in.N), rTagBase+tag)
+				if sentTag >= 0 {
+					break // my R has been absorbed; forward pass over
 				}
-				sentTo, sentTag = dst, tag
-			}
-			if sentTag >= 0 {
-				break // my R has been absorbed; forward pass over
 			}
 		}
 		// A topology-oblivious tree can finish away from world rank 0

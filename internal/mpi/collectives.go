@@ -159,6 +159,87 @@ func (c *Comm) TryAllreduce(data []float64, op Op) ([]float64, error) {
 	return c.TryBcast(0, out)
 }
 
+// AllreduceOverlap is Allreduce with a compute hook: spare (if non-nil)
+// is invoked at every point where this rank is about to block on a tree
+// partner — before each reduce-phase child receive, and before the
+// broadcast-phase parent receive once the rank's own contribution has
+// been posted. The hook is meant to run a bounded chunk of deferred
+// local work (e.g. a slice of a trailing-matrix update): on the virtual
+// clock that compute elapses while the partner's message is in flight,
+// so the subsequent receive charges only the remainder of the transfer
+// as wait. Traffic — message count, sizes, tree shape — is identical to
+// Allreduce, so the exact perfmodel counts are unchanged. How often
+// spare runs depends only on the rank's position in the binomial tree,
+// never on message timing, so fault injection and virtual timings stay
+// deterministic.
+func (c *Comm) AllreduceOverlap(data []float64, op Op, spare func()) []float64 {
+	out, err := c.TryAllreduceOverlap(data, op, spare)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TryAllreduceOverlap is AllreduceOverlap with a typed error when a tree
+// partner is dead.
+func (c *Comm) TryAllreduceOverlap(data []float64, op Op, spare func()) ([]float64, error) {
+	n := c.Size()
+	if n == 1 {
+		return data, nil
+	}
+	defer c.ctx.Phase("allreduce")()
+	me := c.rank
+	acc := data
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			if err := c.trySendRaw(me&^mask, acc, reduceTag); err != nil {
+				return nil, err
+			}
+			break
+		}
+		if child := me | mask; child < n {
+			if spare != nil {
+				spare()
+			}
+			got, err := c.tryRecvRaw(child, reduceTag)
+			if err != nil {
+				return nil, err
+			}
+			if len(acc) > 0 && &acc[0] == &data[0] {
+				acc = append([]float64(nil), acc...)
+			}
+			op(acc, got)
+		}
+	}
+	out := acc
+	if me != 0 {
+		out = make([]float64, len(data))
+	}
+	// Broadcast phase: non-root ranks block on their parent — the one
+	// wait every leaf pays — so the spare hook runs once more first.
+	if me != 0 {
+		if spare != nil {
+			spare()
+		}
+		got, err := c.tryRecvRaw(me&(me-1), bcastTag)
+		if err != nil {
+			return nil, err
+		}
+		copy(out, got)
+	}
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			break
+		}
+		if child := me | mask; child < n {
+			if err := c.trySendRaw(child, out, bcastTag); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
 // Barrier blocks until every rank of the communicator has entered it; in
 // virtual mode the fan-in/fan-out also synchronizes all virtual clocks
 // (up to link delays), which makes Now() comparable across ranks when

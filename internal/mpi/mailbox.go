@@ -94,6 +94,34 @@ func (b *mailbox) takeWait(from int, comm string, tag int, isDead func() bool, t
 	}
 }
 
+// tryTake is the non-blocking form of take, backing Request.Test: it
+// removes and returns the first message matching (from, comm, tag) if one
+// is queued. In virtual mode a queued message whose arrival time is still
+// in the receiver's future is left in place and not taken — the transfer
+// is "in flight" on the simulated clock even though the Go-level handoff
+// already happened — but it still reports queued=true, so a Test against
+// a dead sender can tell "message under way" apart from "message was
+// never sent". Matching stops at the first queued candidate either way,
+// so per-sender per-tag ordering is never reordered around a
+// not-yet-arrived message.
+func (b *mailbox) tryTake(from int, comm string, tag int, now float64, virtual bool) (m message, ok, queued bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("mpi: peer rank panicked while this rank was receiving")
+	}
+	for i, q := range b.queue {
+		if q.from == from && q.comm == comm && q.tag == tag {
+			if virtual && q.arrival > now {
+				return message{}, false, true
+			}
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return q, true, true
+		}
+	}
+	return message{}, false, false
+}
+
 func (b *mailbox) poison() {
 	b.mu.Lock()
 	b.poisoned = true

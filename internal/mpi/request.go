@@ -1,0 +1,149 @@
+package mpi
+
+import "time"
+
+// Request is the handle of an outstanding nonblocking operation, the
+// MPI_Request of this runtime. Sends complete eagerly (the transport is
+// one-sided: Isend prices, counts and enqueues the message immediately,
+// and Wait only surfaces the stored fault outcome), so a Request's real
+// job is deferring the *receive* side: Irecv records the match
+// (peer, tag) without touching the clock, and the wait-time accounting
+// happens at Wait or the successful Test — by which point compute issued
+// in between has already advanced the receiver's virtual clock, so only
+// the remaining in-flight portion of the transfer is charged as wait.
+// That deferral is the entire mechanism behind simulated
+// compute/communication overlap.
+//
+// A Request belongs to the rank that created it and must only be
+// completed from that rank's goroutine.
+type Request struct {
+	c       *Comm
+	recv    bool
+	peer    int // comm rank of the remote side
+	tag     int
+	timeout time.Duration
+	done    bool
+	data    []float64
+	err     error
+}
+
+// Isend starts a nonblocking send of data to comm rank `to`. The payload
+// slice must not be mutated afterwards (messages are not copied). The
+// transfer itself happens eagerly; Wait returns the typed
+// *RankFailedError when the fault plan dropped every delivery attempt.
+func (c *Comm) Isend(to int, data []float64, tag int) *Request {
+	c.checkTag(tag)
+	r := &Request{c: c, peer: to, tag: tag, done: true}
+	r.err = c.ctx.sendE(c.members[to], c.path, tag, data, 8*float64(len(data)))
+	return r
+}
+
+// IsendBytes is Isend for a data-less message priced and counted as
+// `bytes` bytes (the cost-only counterpart, like SendBytes).
+func (c *Comm) IsendBytes(to int, bytes float64, tag int) *Request {
+	c.checkTag(tag)
+	r := &Request{c: c, peer: to, tag: tag, done: true}
+	r.err = c.ctx.sendE(c.members[to], c.path, tag, nil, bytes)
+	return r
+}
+
+// Irecv posts a nonblocking receive for the message from comm rank
+// `from` with the given tag. Posting is free: no clock movement, no
+// fault program point. Completion (Wait or Test) carries the same fault
+// semantics as a blocking TryRecv — a typed *RankFailedError when the
+// sender died without sending, honoring the plan's RecvTimeout.
+func (c *Comm) Irecv(from, tag int) *Request {
+	c.checkTag(tag)
+	return &Request{c: c, recv: true, peer: from, tag: tag}
+}
+
+// IrecvTimeout is Irecv with an explicit wall-clock timeout overriding
+// the plan's RecvTimeout at completion (honoured even without a fault
+// plan, like Comm.RecvTimeout).
+func (c *Comm) IrecvTimeout(from, tag int, timeout time.Duration) *Request {
+	c.checkTag(tag)
+	return &Request{c: c, recv: true, peer: from, tag: tag, timeout: timeout}
+}
+
+// Wait blocks until the request completes and returns the received
+// payload (nil for sends and data-less messages). It is idempotent:
+// repeated calls return the same outcome. For receives it is a fault
+// program point exactly like a blocking receive, so a FaultPlan kills
+// ranks at the same place whether or not the algorithm overlaps.
+func (r *Request) Wait() ([]float64, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	m, err := r.c.ctx.recvE(r.c.members[r.peer], r.c.path, r.tag, r.timeout)
+	r.done = true
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	r.data = m.data
+	return r.data, nil
+}
+
+// MustWait is Wait for call sites without a fault plan: it panics on the
+// (then impossible) error, mirroring Send/Recv versus TrySend/TryRecv.
+func (r *Request) MustWait() []float64 {
+	data, err := r.Wait()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// Test polls the request without blocking. It returns done=false while
+// the matching message has not yet arrived on the simulated clock (the
+// Go-level handoff may already have happened; the transfer is still in
+// flight in virtual time). On arrival it completes the receive with the
+// full wait accounting of a blocking receive — at most zero wait, since
+// Test never advances the clock while returning false. When the peer was
+// killed by the fault plan and no matching message is queued or in
+// flight, Test completes with the typed *RankFailedError. Test is NOT a
+// fault program point (it does not advance the per-rank operation count):
+// polling loops run a scheduling-dependent number of iterations, and
+// counting them would make FaultPlan kill sites nondeterministic.
+func (r *Request) Test() (bool, error) {
+	if r.done {
+		return true, r.err
+	}
+	ctx := r.c.ctx
+	w := ctx.world
+	from := r.c.members[r.peer]
+	var now float64
+	if w.virtual {
+		now = w.clocks[ctx.rank]
+	}
+	m, ok, queued := w.boxes[ctx.rank].tryTake(from, r.c.path, r.tag, now, w.virtual)
+	if ok {
+		ctx.completeRecv(m, from, r.tag)
+		r.done = true
+		r.data = m.data
+		return true, nil
+	}
+	if !queued && w.plan != nil && w.dead[from].Load() {
+		// The sender is dead and nothing from it is queued or in flight:
+		// the message will never come. In-flight puts happen-before the
+		// dead-flag store, so this conclusion is never premature.
+		r.done = true
+		r.err = &RankFailedError{Rank: from, Op: "recv"}
+		return true, r.err
+	}
+	return false, nil
+}
+
+// WaitAll completes every request (in order — deterministic on the
+// virtual clock regardless of arrival order) and returns the first
+// error, if any. All requests are completed even after an error, so no
+// message is left to cross-match later traffic.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

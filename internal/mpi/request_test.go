@@ -1,0 +1,376 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gridqr/internal/grid"
+)
+
+func TestRequestOutOfOrderCompletion(t *testing.T) {
+	// Two Irecvs posted in tag order, completed in reverse: each request
+	// must deliver its own matching message, independent of Wait order.
+	w := testWorld(2)
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() == 0 {
+			c.Send(1, []float64{1}, 1)
+			c.Send(1, []float64{2}, 2)
+			return
+		}
+		r1 := c.Irecv(0, 1)
+		r2 := c.Irecv(0, 2)
+		if got := r2.MustWait(); got[0] != 2 {
+			t.Errorf("tag 2 request delivered %v", got)
+		}
+		if got := r1.MustWait(); got[0] != 1 {
+			t.Errorf("tag 1 request delivered %v", got)
+		}
+		// Wait is idempotent: the payload is retained.
+		if got, err := r1.Wait(); err != nil || got[0] != 1 {
+			t.Errorf("repeated Wait = %v, %v", got, err)
+		}
+	})
+}
+
+func TestWaitAllOrderIndependent(t *testing.T) {
+	w := testWorld(4)
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() != 0 {
+			c.Send(0, []float64{float64(ctx.Rank())}, 3)
+			return
+		}
+		reqs := []*Request{c.Irecv(3, 3), c.Irecv(1, 3), c.Irecv(2, 3)}
+		if err := WaitAll(reqs...); err != nil {
+			t.Errorf("WaitAll = %v", err)
+		}
+		for i, want := range []float64{3, 1, 2} {
+			if got, _ := reqs[i].Wait(); got[0] != want {
+				t.Errorf("req %d delivered %v, want %g", i, got, want)
+			}
+		}
+	})
+}
+
+func TestWaitOnKilledPeerReturnsRankFailed(t *testing.T) {
+	// The peer dies before sending: Wait on the posted Irecv must return
+	// the same typed error a blocking TryRecv would.
+	plan := NewFaultPlan(1).Kill(1, 0)
+	w := faultWorld(2, plan)
+	var got error
+	var mu sync.Mutex
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() == 0 {
+			req := c.Irecv(1, 5)
+			_, err := req.Wait()
+			mu.Lock()
+			got = err
+			mu.Unlock()
+		} else {
+			c.Send(0, []float64{1}, 5) // never reached: killed at op 0
+		}
+	})
+	var rf *RankFailedError
+	if !errors.As(got, &rf) {
+		t.Fatalf("Wait error = %v, want RankFailedError", got)
+	}
+	if rf.Rank != 1 || rf.Op != "recv" {
+		t.Errorf("RankFailedError = %+v", *rf)
+	}
+}
+
+func TestTestOnKilledPeerCompletesWithRankFailed(t *testing.T) {
+	// Polling a request whose peer died (and sent nothing) must
+	// eventually complete with the typed error rather than spin forever.
+	plan := NewFaultPlan(1).Kill(1, 0)
+	w := faultWorld(2, plan)
+	var got error
+	var mu sync.Mutex
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() != 0 {
+			c.Send(0, []float64{1}, 5) // never reached
+			return
+		}
+		req := c.Irecv(1, 5)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			done, err := req.Test()
+			if done {
+				mu.Lock()
+				got = err
+				mu.Unlock()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Error("Test never completed against a dead peer")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	var rf *RankFailedError
+	if !errors.As(got, &rf) {
+		t.Fatalf("Test error = %v, want RankFailedError", got)
+	}
+}
+
+func TestIrecvTimeout(t *testing.T) {
+	// No fault plan, no sender: the explicit per-request timeout must
+	// still bound the wait with a typed TimeoutError.
+	w := testWorld(2)
+	var got error
+	var mu sync.Mutex
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() != 0 {
+			return // sends nothing
+		}
+		req := c.IrecvTimeout(1, 9, 50*time.Millisecond)
+		_, err := req.Wait()
+		mu.Lock()
+		got = err
+		mu.Unlock()
+	})
+	var te *TimeoutError
+	if !errors.As(got, &te) {
+		t.Fatalf("Wait error = %v, want TimeoutError", got)
+	}
+	if te.Rank != 1 || te.Tag != 9 {
+		t.Errorf("TimeoutError = %+v", *te)
+	}
+}
+
+func TestIsendSurfacesDropExhaustionAtWait(t *testing.T) {
+	// Every delivery attempt on tag 5 is dropped: the eager Isend stores
+	// the failure and Wait must surface the typed error.
+	plan := NewFaultPlan(1).Drop(0, 1, 5, 1.0, 0)
+	w := faultWorld(2, plan)
+	var got error
+	var mu sync.Mutex
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() != 0 {
+			return
+		}
+		req := c.Isend(1, []float64{1}, 5)
+		_, err := req.Wait()
+		mu.Lock()
+		got = err
+		mu.Unlock()
+	})
+	var rf *RankFailedError
+	if !errors.As(got, &rf) {
+		t.Fatalf("Isend Wait error = %v, want RankFailedError", got)
+	}
+	if rf.Rank != 1 || rf.Op != "send" {
+		t.Errorf("RankFailedError = %+v", *rf)
+	}
+}
+
+func TestTestRespectsVirtualArrival(t *testing.T) {
+	// On the simulated clock a message is not receivable before its
+	// arrival time even if the Go-level handoff already happened. A small
+	// ack sent after a large payload arrives first (same latency, fewer
+	// bytes), so after consuming the ack the big transfer is provably
+	// still in flight: Test must say "not done" without moving the clock,
+	// then succeed once the clock passes the arrival.
+	w := testWorld(2, Virtual())
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		if ctx.Rank() == 0 {
+			c.Send(1, make([]float64, 1<<16), 1) // big: slow transfer
+			c.Send(1, []float64{1}, 2)           // small ack: arrives first
+			return
+		}
+		big := c.Irecv(0, 1)
+		c.Recv(0, 2) // clock now sits between the two arrivals
+		before := ctx.Now()
+		done, err := big.Test()
+		if done || err != nil {
+			t.Errorf("Test before arrival = %v, %v; want in-flight", done, err)
+		}
+		if ctx.Now() != before {
+			t.Errorf("failed Test moved the clock: %g -> %g", before, ctx.Now())
+		}
+		ctx.Sleep(10) // jump far past the arrival
+		done, err = big.Test()
+		if !done || err != nil {
+			t.Fatalf("Test after arrival = %v, %v", done, err)
+		}
+		if got := big.MustWait(); len(got) != 1<<16 {
+			t.Errorf("payload length = %d", len(got))
+		}
+		// Completing after the arrival charges no wait at all.
+		if ctx.Now() != before+10 {
+			t.Errorf("successful late Test moved the clock: %g", ctx.Now())
+		}
+	})
+}
+
+func TestOverlapHidesWait(t *testing.T) {
+	// The same traffic and the same compute, blocking versus overlapped:
+	// posting the receive first and computing before Wait must strictly
+	// reduce both the receiver's wait time and the completion time.
+	const flops = 1e6
+	run := func(overlap bool) (wait, clock float64) {
+		w := testWorld(2, Virtual())
+		w.Run(func(ctx *Ctx) {
+			c := WorldComm(ctx)
+			if ctx.Rank() == 0 {
+				c.Send(1, make([]float64, 1<<15), 1)
+				return
+			}
+			if overlap {
+				req := c.Irecv(0, 1)
+				ctx.Charge(flops, 8)
+				req.MustWait()
+			} else {
+				c.Recv(0, 1)
+				ctx.Charge(flops, 8)
+			}
+		})
+		b := w.BreakdownOf(1)
+		return b.Wait[0] + b.Wait[1] + b.Wait[2], w.MaxClock()
+	}
+	blockWait, blockClock := run(false)
+	overlapWait, overlapClock := run(true)
+	if blockWait <= 0 {
+		t.Fatalf("blocking run recorded no wait (wait=%g)", blockWait)
+	}
+	if overlapWait >= blockWait {
+		t.Errorf("overlap wait %g not below blocking wait %g", overlapWait, blockWait)
+	}
+	if overlapClock >= blockClock {
+		t.Errorf("overlap clock %g not below blocking clock %g", overlapClock, blockClock)
+	}
+}
+
+func TestMixedBlockingNonblockingTraffic(t *testing.T) {
+	// Every rank exchanges with every other, half via Isend/Irecv, half
+	// via blocking Send/Recv, followed by a collective — one world, all
+	// paths exercised together. Run under -race this is the required
+	// race-detector pass over mixed traffic.
+	const n = 4
+	w := testWorld(n)
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		me := ctx.Rank()
+		var reqs []*Request
+		for peer := 0; peer < n; peer++ {
+			if peer == me {
+				continue
+			}
+			if (me+peer)%2 == 0 {
+				reqs = append(reqs, c.Isend(peer, []float64{float64(me)}, 11))
+			} else {
+				c.Send(peer, []float64{float64(me)}, 11)
+			}
+		}
+		sum := 0.0
+		for peer := 0; peer < n; peer++ {
+			if peer == me {
+				continue
+			}
+			if peer%2 == 0 {
+				reqs = append(reqs, c.Irecv(peer, 11))
+			} else {
+				got := c.Recv(peer, 11)
+				sum += got[0]
+			}
+		}
+		if err := WaitAll(reqs...); err != nil {
+			t.Errorf("rank %d: WaitAll = %v", me, err)
+		}
+		for _, r := range reqs {
+			if data, _ := r.Wait(); data != nil {
+				sum += data[0]
+			}
+		}
+		want := float64(n*(n-1)/2) - float64(me)
+		if sum != want {
+			t.Errorf("rank %d: received sum = %g, want %g", me, sum, want)
+		}
+		total := c.Allreduce([]float64{float64(me)}, OpSum)
+		if total[0] != float64(n*(n-1)/2) {
+			t.Errorf("rank %d: allreduce = %g", me, total[0])
+		}
+	})
+}
+
+func TestAllreduceOverlapMatchesAllreduce(t *testing.T) {
+	// Same values, same message count and volume as the plain allreduce,
+	// on power-of-two and ragged sizes; the spare hook must run on every
+	// rank that blocks (everyone except the last to contribute is not
+	// guaranteed — assert it ran at least once per world).
+	for _, n := range []int{2, 5, 8} {
+		wantMsgs := func(w *World) int64 { return w.Counters().Total().Msgs }
+		plain := testWorld(n)
+		plain.Run(func(ctx *Ctx) {
+			c := WorldComm(ctx)
+			got := c.Allreduce([]float64{float64(ctx.Rank() + 1)}, OpSum)
+			if want := float64(n * (n + 1) / 2); got[0] != want {
+				t.Errorf("n=%d rank %d: Allreduce = %g, want %g", n, ctx.Rank(), got[0], want)
+			}
+		})
+		var spared sync.Map
+		over := testWorld(n)
+		over.Run(func(ctx *Ctx) {
+			c := WorldComm(ctx)
+			got := c.AllreduceOverlap([]float64{float64(ctx.Rank() + 1)}, OpSum,
+				func() { spared.Store(ctx.Rank(), true) })
+			if want := float64(n * (n + 1) / 2); got[0] != want {
+				t.Errorf("n=%d rank %d: AllreduceOverlap = %g, want %g", n, ctx.Rank(), got[0], want)
+			}
+		})
+		if wantMsgs(plain) != wantMsgs(over) {
+			t.Errorf("n=%d: message counts differ: Allreduce %d, AllreduceOverlap %d",
+				n, wantMsgs(plain), wantMsgs(over))
+		}
+		// Every non-root rank blocks on the bcast parent, so all of them
+		// must have run the spare hook.
+		for r := 1; r < n; r++ {
+			if _, ok := spared.Load(r); !ok {
+				t.Errorf("n=%d: spare hook never ran on rank %d", n, r)
+			}
+		}
+	}
+}
+
+func TestNegativeTagPanicsOnRequests(t *testing.T) {
+	for _, op := range []string{"isend", "irecv"} {
+		op := op
+		t.Run(op, func(t *testing.T) {
+			w := NewWorld(grid.SmallTestGrid(1, 2, 1))
+			var caught atomic0
+			defer func() {
+				recover()
+				if caught.Load() == 0 {
+					t.Fatalf("%s with negative tag did not panic", op)
+				}
+			}()
+			w.Run(func(ctx *Ctx) {
+				c := WorldComm(ctx)
+				if ctx.Rank() != 0 {
+					return
+				}
+				defer func() {
+					if p := recover(); p != nil {
+						caught.Store(1)
+						panic(p)
+					}
+				}()
+				switch op {
+				case "isend":
+					c.Isend(1, []float64{1}, -7)
+				case "irecv":
+					c.Irecv(1, -8)
+				}
+			})
+		})
+	}
+}

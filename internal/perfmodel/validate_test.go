@@ -59,6 +59,37 @@ func TestModelVsMeasuredTSQR(t *testing.T) {
 	}
 }
 
+// TestModelVsMeasuredTSQROverlap holds the overlapped variant to the
+// same exact analytic totals: restructuring the cross-site stage and
+// deferring receives must not change what is sent — only when it is
+// waited for.
+func TestModelVsMeasuredTSQROverlap(t *testing.T) {
+	const m, n = 1 << 16, 16
+	for _, tc := range []struct{ sites, nodes int }{
+		{1, 4}, {2, 4}, {4, 2}, {2, 8},
+	} {
+		g := grid.SmallTestGrid(tc.sites, tc.nodes, 1)
+		reg := telemetry.NewRegistry()
+		w := mpi.NewWorld(g, mpi.CostOnly(), mpi.Traced(), mpi.WithMetrics(reg))
+		w.Run(func(ctx *mpi.Ctx) {
+			core.Factorize(mpi.WorldComm(ctx),
+				core.Input{M: m, N: n, Offsets: scalapack.BlockOffsets(m, g.Procs())},
+				core.Config{Tree: core.TreeGrid, Overlap: true})
+		})
+		want := perfmodel.TSQRExactTotals(n, g.Procs())
+		gotMsgs, gotVol, gotInter := measured(reg)
+		if gotMsgs != want.Msgs {
+			t.Errorf("%d sites × %d: overlapped TSQR messages = %g, model %g", tc.sites, tc.nodes, gotMsgs, want.Msgs)
+		}
+		if math.Abs(gotVol-want.Volume) > 1e-9*want.Volume {
+			t.Errorf("%d sites × %d: overlapped TSQR volume = %g, model %g", tc.sites, tc.nodes, gotVol, want.Volume)
+		}
+		if wantInter := perfmodel.TSQRExactCrossSite(tc.sites); gotInter != wantInter {
+			t.Errorf("%d sites × %d: overlapped TSQR inter-site messages = %g, model %g", tc.sites, tc.nodes, gotInter, wantInter)
+		}
+	}
+}
+
 func TestModelVsMeasuredPDGEQR2(t *testing.T) {
 	const m, n = 1 << 14, 8
 	for _, procs := range []int{2, 4, 8} {

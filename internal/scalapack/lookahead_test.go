@@ -1,0 +1,179 @@
+package scalapack
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/telemetry"
+)
+
+// runBothVariants factors the same matrix with blocking PDGEQRF and the
+// lookahead variant in two identical worlds, returning rank 0's R and
+// every rank's factored local block for both.
+func runBothVariants(t *testing.T, g *grid.Grid, m, n, nb, nx int, seed int64) (rBlock, rLook *matrix.Dense, localsBlock, localsLook []*matrix.Dense, tauBlock, tauLook []float64) {
+	t.Helper()
+	global := matrix.Random(m, n, seed)
+	p := g.Procs()
+	offsets := BlockOffsets(m, p)
+	run := func(lookahead bool) (*matrix.Dense, []*matrix.Dense, []float64) {
+		w := mpi.NewWorld(g)
+		locals := make([]*matrix.Dense, p)
+		var r *matrix.Dense
+		var tau []float64
+		var mu sync.Mutex
+		w.Run(func(ctx *mpi.Ctx) {
+			comm := mpi.WorldComm(ctx)
+			in := Input{M: m, N: n, Offsets: offsets, Local: Distribute(global, offsets, ctx.Rank())}
+			var f *Factorization
+			if lookahead {
+				f = PDGEQRFLookahead(comm, in, nb, nx)
+			} else {
+				f = PDGEQRF(comm, in, nb, nx)
+			}
+			mu.Lock()
+			locals[ctx.Rank()] = f.Local
+			if ctx.Rank() == 0 {
+				r, tau = f.R, f.Tau
+			}
+			mu.Unlock()
+		})
+		return r, locals, tau
+	}
+	rBlock, localsBlock, tauBlock = run(false)
+	rLook, localsLook, tauLook = run(true)
+	return
+}
+
+// TestLookaheadMatchesBlockingExactly: deferring and chunking the
+// trailing update must not change a single floating-point result — GEMM
+// columns are independent, so the lookahead factorization (R, every
+// local block, every tau) equals the blocking one bit for bit.
+func TestLookaheadMatchesBlockingExactly(t *testing.T) {
+	for _, tc := range []struct{ m, n, nb, nx, sites, nodes int }{
+		{256, 96, 16, 16, 2, 2},
+		{300, 128, 32, 32, 1, 4},
+		{192, 64, 16, 48, 2, 1}, // crossover hit after one block step
+		{128, 48, 64, 16, 1, 2}, // nb >= n: degenerates to PDGEQR2
+	} {
+		g := grid.SmallTestGrid(tc.sites, tc.nodes, 1)
+		rB, rL, lB, lL, tB, tL := runBothVariants(t, g, tc.m, tc.n, tc.nb, tc.nx, 5)
+		if !matrix.Equal(rB, rL, 0) {
+			t.Errorf("m=%d n=%d nb=%d nx=%d: R differs between blocking and lookahead", tc.m, tc.n, tc.nb, tc.nx)
+		}
+		for r := range lB {
+			if !matrix.Equal(lB[r], lL[r], 0) {
+				t.Errorf("m=%d n=%d nb=%d nx=%d: rank %d local factor differs", tc.m, tc.n, tc.nb, tc.nx, r)
+			}
+		}
+		for i := range tB {
+			if tB[i] != tL[i] {
+				t.Errorf("m=%d n=%d nb=%d nx=%d: tau[%d] differs: %g vs %g", tc.m, tc.n, tc.nb, tc.nx, i, tB[i], tL[i])
+			}
+		}
+	}
+}
+
+// TestLookaheadWithinBackwardErrorBound holds the lookahead variant to
+// the repo-wide 100·ε·√(mn) backward-error contract directly.
+func TestLookaheadWithinBackwardErrorBound(t *testing.T) {
+	const m, n, nb, nx = 300, 96, 16, 16
+	g := grid.SmallTestGrid(2, 2, 1)
+	global := matrix.Random(m, n, 13)
+	offsets := BlockOffsets(m, g.Procs())
+	w := mpi.NewWorld(g)
+	var mu sync.Mutex
+	var r *matrix.Dense
+	w.Run(func(ctx *mpi.Ctx) {
+		comm := mpi.WorldComm(ctx)
+		in := Input{M: m, N: n, Offsets: offsets, Local: Distribute(global, offsets, ctx.Rank())}
+		f := PDGEQRFLookahead(comm, in, nb, nx)
+		if ctx.Rank() == 0 {
+			mu.Lock()
+			r = f.R
+			mu.Unlock()
+		}
+	})
+	lapack.NormalizeRSigns(r, nil)
+	want := seqR(global)
+	lapack.NormalizeRSigns(want, nil)
+	tol := 100 * 2.220446049250313e-16 * math.Sqrt(float64(m*n))
+	if !matrix.Equal(r, want, tol*matrix.NormFrob(global)) {
+		t.Errorf("lookahead R deviates from sequential beyond the backward-error bound")
+	}
+}
+
+// TestLookaheadCountsMatchBlocking: identical allreduces on identical
+// trees — message counts exactly equal, bytes and flops to float
+// accumulation. This is what keeps the perf-gate baselines shared
+// between the two variants.
+func TestLookaheadCountsMatchBlocking(t *testing.T) {
+	const m, n, nb, nx = 1 << 14, 128, 32, 32
+	g := grid.SmallTestGrid(2, 4, 1)
+	run := func(lookahead bool) mpi.CounterSnapshot {
+		w := mpi.NewWorld(g, mpi.CostOnly())
+		w.Run(func(ctx *mpi.Ctx) {
+			in := Input{M: m, N: n, Offsets: BlockOffsets(m, g.Procs())}
+			if lookahead {
+				PDGEQRFLookahead(mpi.WorldComm(ctx), in, nb, nx)
+			} else {
+				PDGEQRF(mpi.WorldComm(ctx), in, nb, nx)
+			}
+		})
+		return w.Counters()
+	}
+	blocking, look := run(false), run(true)
+	bt, lt := blocking.Total(), look.Total()
+	if bt.Msgs != lt.Msgs {
+		t.Errorf("message counts differ: blocking %d, lookahead %d", bt.Msgs, lt.Msgs)
+	}
+	if math.Abs(bt.Bytes-lt.Bytes) > 1e-9*bt.Bytes {
+		t.Errorf("byte totals differ: blocking %g, lookahead %g", bt.Bytes, lt.Bytes)
+	}
+	if math.Abs(blocking.Flops-look.Flops) > 1e-9*blocking.Flops {
+		t.Errorf("flop totals differ: blocking %g, lookahead %g", blocking.Flops, look.Flops)
+	}
+	if bi, li := blocking.Inter(), look.Inter(); bi.Msgs != li.Msgs {
+		t.Errorf("inter-site counts differ: blocking %d, lookahead %d", bi.Msgs, li.Msgs)
+	}
+}
+
+// TestLookaheadReducesWait: on a multi-site grid with real block steps,
+// hiding the trailing update inside allreduce waits must strictly lower
+// both the makespan and the wait share of the critical path, while the
+// decomposition still sums exactly.
+func TestLookaheadReducesWait(t *testing.T) {
+	const m, n, nb, nx = 1 << 16, 256, 32, 32
+	g := grid.SmallTestGrid(4, 2, 1)
+	run := func(lookahead bool) (telemetry.CriticalPath, float64) {
+		w := mpi.NewWorld(g, mpi.CostOnly(), mpi.Traced())
+		w.Run(func(ctx *mpi.Ctx) {
+			in := Input{M: m, N: n, Offsets: BlockOffsets(m, g.Procs())}
+			if lookahead {
+				PDGEQRFLookahead(mpi.WorldComm(ctx), in, nb, nx)
+			} else {
+				PDGEQRF(mpi.WorldComm(ctx), in, nb, nx)
+			}
+		})
+		return telemetry.AnalyzeCriticalPath(w.Trace()), w.MaxClock()
+	}
+	blocking, blockClock := run(false)
+	look, lookClock := run(true)
+	if lookClock >= blockClock {
+		t.Errorf("makespan: lookahead %.6fs not below blocking %.6fs", lookClock, blockClock)
+	}
+	if lw, bw := look.Comm()+look.Idle, blocking.Comm()+blocking.Idle; lw >= bw {
+		t.Errorf("critical-path wait: lookahead %.6fs not below blocking %.6fs", lw, bw)
+	}
+	for _, cp := range []telemetry.CriticalPath{blocking, look} {
+		if math.Abs(cp.Sum()-cp.Total) > 1e-9*(1+cp.Total) {
+			t.Errorf("critical-path decomposition sum %g != total %g", cp.Sum(), cp.Total)
+		}
+	}
+	t.Logf("makespan: blocking %.4fs -> lookahead %.4fs; critical-path wait %.4fs -> %.4fs",
+		blockClock, lookClock, blocking.Comm()+blocking.Idle, look.Comm()+look.Idle)
+}

@@ -66,7 +66,7 @@ func (p *pd) blockUpdate(j, jb int) {
 			}
 		}
 	}
-	gram = p.comm.Allreduce(gram, mpi.OpSum)
+	gram = p.allreduce(gram)
 	ctx.ChargeKernel("syrk", float64(active*jb*jb), n)
 
 	// --- Local T from the Gram matrix and taus ---
@@ -83,7 +83,7 @@ func (p *pd) blockUpdate(j, jb int) {
 		zm := matrix.FromColMajor(jb, rest, z)
 		blas.Dgemm(blas.Trans, blas.NoTrans, 1, vloc, cloc, 0, zm)
 	}
-	z = p.comm.Allreduce(z, mpi.OpSum)
+	z = p.allreduce(z)
 	ctx.ChargeKernel("gemm", float64(2*active*jb*rest), n)
 
 	// --- Local update: C −= V·(Tᵀ·Z) ---

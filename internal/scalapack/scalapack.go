@@ -98,10 +98,24 @@ type pd struct {
 	comm *mpi.Comm
 	in   Input
 	f    *Factorization
+	// spare, when non-nil (the lookahead variant), is handed to every
+	// allreduce so deferred trailing-update chunks run inside the
+	// reduction tree's wait windows. pending is the deferred work.
+	spare   func()
+	pending *pendingUpdate
 }
 
 func (p *pd) myOff() int  { return p.in.Offsets[p.comm.Rank()] }
 func (p *pd) myRows() int { return p.in.Offsets[p.comm.Rank()+1] - p.myOff() }
+
+// allreduce routes through AllreduceOverlap when a spare-cycle hook is
+// installed; traffic is identical either way.
+func (p *pd) allreduce(v []float64) []float64 {
+	if p.spare != nil {
+		return p.comm.AllreduceOverlap(v, mpi.OpSum, p.spare)
+	}
+	return p.comm.Allreduce(v, mpi.OpSum)
+}
 
 // panelQR2 factors columns [j0, j1) with per-column allreduces, updating
 // trailing columns up to updateTo (exclusive). PDGEQR2 is
@@ -129,7 +143,7 @@ func (p *pd) panelQR2(j0, j1, updateTo int) {
 				}
 			}
 		}
-		norm = p.comm.Allreduce(norm, mpi.OpSum)
+		norm = p.allreduce(norm)
 		var tau, beta, scale float64
 		if ctx.HasData() {
 			beta, tau, scale = reflectorFromNorm(norm[1], norm[0])
@@ -165,7 +179,7 @@ func (p *pd) panelQR2(j0, j1, updateTo int) {
 				w[k-j-1] = s
 			}
 		}
-		w = p.comm.Allreduce(w, mpi.OpSum)
+		w = p.allreduce(w)
 		if ctx.HasData() && tau != 0 {
 			for k := j + 1; k < updateTo; k++ {
 				fwk := tau * w[k-j-1]
