@@ -9,11 +9,11 @@ test:
 	$(GO) test ./...
 
 # The runtime (incl. fault injection and nonblocking requests), the
-# TSQR/FT-TSQR paths, the lookahead ScaLAPACK variant and the lock-free
-# telemetry registry must be race-clean; short mode keeps this fast
-# enough for every commit.
+# TSQR/FT-TSQR paths, the lookahead ScaLAPACK variant, the lock-free
+# telemetry registry and the concurrent job scheduler must be
+# race-clean; short mode keeps this fast enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +29,7 @@ check: build vet fmt-check test race
 # Perf-regression gate: re-run the standard benchmark set and fail on
 # any drift from the committed baseline (message/flop counts exact,
 # bytes and simulated seconds within tight relative tolerance).
-BASELINE ?= results/BENCH_3.json
+BASELINE ?= results/BENCH_4.json
 
 perfgate:
 	$(GO) run ./cmd/gridbench -baseline $(BASELINE)
@@ -41,6 +41,7 @@ baseline:
 
 fuzz:
 	$(GO) test -fuzz=FuzzHouseholderQR -fuzztime=15s ./internal/lapack
+	$(GO) test -fuzz=FuzzAdmission -fuzztime=15s ./internal/sched
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -34,6 +34,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "run the traced benchmark and print its metrics registry, critical path and per-site communication matrix")
 	jsonOut := flag.String("json", "", "run the standard benchmark set and write a machine-readable JSON report")
 	baseline := flag.String("baseline", "", "re-run the standard benchmark set and fail if it drifts from this committed JSON report (the CI perf gate)")
+	serve := flag.Bool("serve", false, "run the closed-loop serving benchmark: concurrent TSQR jobs space-shared over site partitions, throughput and latency vs offered load")
 	overlap := flag.Bool("overlap", false, "use the compute/communication-overlap variants in the traced benchmark (-trace/-metrics)")
 	flag.Parse()
 	if *faults {
@@ -74,6 +75,17 @@ func main() {
 		}
 		telemetryRun(g, *traceOut, *metrics, *overlap)
 	}
+	if *serve {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		loads := bench.StandardServeLoads
+		if *quick {
+			loads = loads[:min(2, len(loads))]
+		}
+		fmt.Println(bench.FormatServe(g, bench.ServeStudy(g, loads, bench.ServeJobsPerClient)))
+	}
 	if *baseline != "" {
 		ran = true
 		if *fig == "all" {
@@ -89,6 +101,7 @@ func main() {
 			*fig = ""
 		}
 		rep := bench.BuildReport(platformName(*platform), bench.StandardReportRuns(g))
+		rep.Serving = bench.BuildServingRuns(g)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -289,6 +302,9 @@ func perfGate(g *grid.Grid, baselinePath, platform string) bool {
 		return false
 	}
 	got := bench.BuildReport(platform, bench.StandardReportRuns(g))
+	if len(want.Serving) > 0 {
+		got.Serving = bench.BuildServingRuns(g)
+	}
 	diffs := bench.CompareReports(got, want, bench.Tolerances{})
 	if len(diffs) == 0 {
 		fmt.Printf("perf gate: %d baseline runs match within tolerance\n", len(want.Runs))

@@ -95,5 +95,42 @@ func CompareReports(got, want Report, tol Tolerances) []string {
 				key, g.Seconds, w.Seconds, off, tol.RelSeconds))
 		}
 	}
+	diffs = append(diffs, compareServing(got.Serving, want.Serving, tol, relOff)...)
+	return diffs
+}
+
+// compareServing diffs the serving sweep's deterministic fields: job
+// counts and per-job message/byte traffic. Wall-clock throughput and
+// latency quantiles measure the host machine, not the algorithm, and
+// are deliberately never gated.
+func compareServing(got, want []ServeRun, tol Tolerances, relOff func(a, b float64) float64) []string {
+	byClients := make(map[int]ServeRun, len(got))
+	for _, r := range got {
+		byClients[r.Clients] = r
+	}
+	var diffs []string
+	for _, w := range want {
+		key := fmt.Sprintf("serve/clients=%d", w.Clients)
+		g, ok := byClients[w.Clients]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", key))
+			continue
+		}
+		if g.Jobs != w.Jobs {
+			diffs = append(diffs, fmt.Sprintf("%s: jobs %d != baseline %d", key, g.Jobs, w.Jobs))
+		}
+		if g.MsgsPerJob != w.MsgsPerJob {
+			diffs = append(diffs, fmt.Sprintf("%s: msgs/job %d != baseline %d",
+				key, g.MsgsPerJob, w.MsgsPerJob))
+		}
+		if g.InterSiteMsgsPerJob != w.InterSiteMsgsPerJob {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-site msgs/job %d != baseline %d",
+				key, g.InterSiteMsgsPerJob, w.InterSiteMsgsPerJob))
+		}
+		if off := relOff(g.BytesPerJob, w.BytesPerJob); off > tol.RelBytes {
+			diffs = append(diffs, fmt.Sprintf("%s: bytes/job %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.BytesPerJob, w.BytesPerJob, off, tol.RelBytes))
+		}
+	}
 	return diffs
 }

@@ -17,6 +17,10 @@ import (
 type Report struct {
 	Platform string      `json:"platform"`
 	Runs     []ReportRun `json:"runs"`
+	// Serving holds the closed-loop serving-layer sweep (PR 4). Only
+	// its deterministic per-job traffic fields participate in the perf
+	// gate; wall-clock throughput and latency are informational.
+	Serving []ServeRun `json:"serving,omitempty"`
 }
 
 // ReportRun is one experiment point of a Report.

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/sched"
+	"gridqr/internal/telemetry"
+)
+
+// Serving benchmark: a closed-loop load generator against the sched
+// serving layer. C concurrent clients each submit a job, wait for its
+// completion, and immediately submit the next one — the classic
+// closed-loop harness, so the offered load is exactly C in-flight jobs
+// and the sweep traces the throughput/latency curve as C grows past the
+// partition count.
+//
+// The configuration is chosen for determinism: batching disabled and
+// symmetric two-site partitions, so every job runs the identical TSQR
+// reduction regardless of which partition serves it. Per-job message
+// and byte counts are therefore exact invariants the perf gate can diff
+// (wall-clock throughput and latency quantiles are recorded for the
+// table but never gated — they measure the host, not the algorithm).
+
+// Serving workload shape: M/(procs per partition) = 32 = N exactly, so
+// each of the 128 ranks of a two-site partition holds one N×N leaf and
+// a served job is a pure 127-message binary-tree reduction with exactly
+// one inter-site message.
+const (
+	ServeM = 4096
+	ServeN = 32
+)
+
+// StandardServeLoads is the closed-loop client sweep the -serve flag
+// and the committed report run: below, at, and above the number of
+// partitions.
+var StandardServeLoads = []int{1, 2, 4, 8}
+
+// ServeJobsPerClient is how many jobs each closed-loop client submits.
+const ServeJobsPerClient = 8
+
+// ServeRun is one offered-load point of the serving benchmark.
+type ServeRun struct {
+	Clients int   `json:"clients"`
+	Jobs    int64 `json:"jobs"`
+
+	// Wall-clock serving performance (host-dependent, never gated).
+	ThroughputJPS float64 `json:"throughput_jobs_per_s"`
+	P50Seconds    float64 `json:"p50_seconds"`
+	P99Seconds    float64 `json:"p99_seconds"`
+
+	// Deterministic per-job traffic (gated against the baseline).
+	MsgsPerJob          int64   `json:"msgs_per_job"`
+	InterSiteMsgsPerJob int64   `json:"inter_site_msgs_per_job"`
+	BytesPerJob         float64 `json:"bytes_per_job"`
+}
+
+// servePlan pairs sites into partitions when the platform allows it, so
+// every job crosses a site boundary; odd-sited platforms fall back to
+// one partition per site.
+func servePlan(g *grid.Grid) sched.Plan {
+	if len(g.Clusters) >= 2 && len(g.Clusters)%2 == 0 {
+		return sched.SiteGroups(g, 2)
+	}
+	return sched.PerSite(g)
+}
+
+// ServeStudy runs the closed-loop sweep: one fresh server per load
+// point, C clients each submitting jobsPerClient TSQR jobs with
+// distinct seeds. Cost-only worlds keep the 256-rank platform cheap
+// while preserving exact message accounting.
+func ServeStudy(g *grid.Grid, loads []int, jobsPerClient int) []ServeRun {
+	var out []ServeRun
+	for _, c := range loads {
+		out = append(out, serveOnePoint(g, c, jobsPerClient))
+	}
+	return out
+}
+
+func serveOnePoint(g *grid.Grid, clients, jobsPerClient int) ServeRun {
+	reg := telemetry.NewRegistry()
+	srv := sched.Start(sched.Config{
+		Grid:     g,
+		Plan:     servePlan(g),
+		QueueCap: clients, // closed loop: at most `clients` jobs in flight
+		MaxBatch: 1,       // batching off — per-job counters must be invariant
+		CostOnly: true,
+		Registry: reg,
+	})
+	defer srv.Close()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		completed int64
+		totals    struct {
+			msgs, inter int64
+			bytes       float64
+		}
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerClient; i++ {
+				j, err := srv.Submit(sched.JobSpec{
+					Kind: sched.KindTSQR, M: ServeM, N: ServeN,
+					Seed: int64(1 + client*jobsPerClient + i),
+				})
+				if err == nil {
+					<-j.Done()
+					res := j.Result()
+					err = res.Err
+					if err == nil {
+						mu.Lock()
+						completed++
+						totals.msgs += res.Counters.Total().Msgs
+						totals.bytes += res.Counters.Total().Bytes
+						totals.inter += res.Counters.Inter().Msgs
+						mu.Unlock()
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		panic(fmt.Sprintf("bench: serving benchmark job failed: %v", firstErr))
+	}
+
+	q := reg.Histogram("sched.latency_seconds").Quantiles([]float64{0.5, 0.99})
+	row := ServeRun{
+		Clients:       clients,
+		Jobs:          completed,
+		ThroughputJPS: float64(completed) / elapsed.Seconds(),
+		P50Seconds:    q[0],
+		P99Seconds:    q[1],
+	}
+	if completed > 0 {
+		row.MsgsPerJob = totals.msgs / completed
+		row.InterSiteMsgsPerJob = totals.inter / completed
+		row.BytesPerJob = totals.bytes / float64(completed)
+	}
+	return row
+}
+
+// BuildServingRuns executes the standard serving sweep for the
+// committed report.
+func BuildServingRuns(g *grid.Grid) []ServeRun {
+	return ServeStudy(g, StandardServeLoads, ServeJobsPerClient)
+}
+
+// FormatServe renders the sweep as the throughput-vs-offered-load table.
+func FormatServe(g *grid.Grid, rows []ServeRun) string {
+	var b strings.Builder
+	plan := servePlan(g)
+	fmt.Fprintf(&b, "== Serving layer: closed-loop TSQR jobs (M=%d, N=%d, %d partitions × %d ranks) ==\n",
+		ServeM, ServeN, len(plan.Groups), len(plan.Groups[0]))
+	fmt.Fprintf(&b, "%8s %6s %12s %10s %10s %10s %12s %14s\n",
+		"clients", "jobs", "jobs/s", "p50 (s)", "p99 (s)", "msgs/job", "inter/job", "bytes/job")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %6d %12.1f %10.2g %10.2g %10d %12d %14.4g\n",
+			r.Clients, r.Jobs, r.ThroughputJPS, r.P50Seconds, r.P99Seconds,
+			r.MsgsPerJob, r.InterSiteMsgsPerJob, r.BytesPerJob)
+	}
+	return b.String()
+}

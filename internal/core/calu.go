@@ -83,7 +83,6 @@ func CALUFactorize(comm *mpi.Comm, in Input, cfg CALUConfig) *CALUResult {
 				nb, r, rows))
 		}
 	}
-	g := ctx.World().Grid()
 	me := comm.Rank()
 	myOff, myEnd := in.Offsets[me], in.Offsets[me+1]
 	res := &CALUResult{LLocal: in.Local, Perm: make([]int, in.M)}
@@ -104,7 +103,7 @@ func CALUFactorize(comm *mpi.Comm, in Input, cfg CALUConfig) *CALUResult {
 		lo := min(max(0, j-myOff), myEnd-myOff)
 
 		// --- Tournament over the panel columns [j, j+jb) ---
-		pivots := caluTournament(comm, g, in, active, j, jb, lo)
+		pivots := caluTournament(comm, in, active, j, jb, lo)
 
 		// --- Swap the winning rows to positions j..j+jb (full width) ---
 		for k := 0; k < jb; k++ {

@@ -11,7 +11,7 @@ import (
 // TSLU tournament over the active ranks (grid-tuned tree) and broadcasts
 // the winning global row positions to every rank, so all ranks can drive
 // the subsequent swaps identically.
-func caluTournament(comm *mpi.Comm, g interface{ ClusterOf(int) int },
+func caluTournament(comm *mpi.Comm,
 	in Input, active []int, j, jb, lo int) []int {
 	ctx := comm.Ctx()
 	me := comm.Rank()
@@ -38,7 +38,7 @@ func caluTournament(comm *mpi.Comm, g interface{ ClusterOf(int) int },
 		ctx.Charge(flops.GETF2(rows, jb), jb)
 
 		// Tournament up the tree over active ranks.
-		sched := caqrSchedule(g, active)
+		sched := caqrSchedule(comm, active)
 		tagBase := caluTagBase + (j/max(jb, 1))*caqrTagStride
 		for tag, m := range sched {
 			done := false

@@ -63,7 +63,6 @@ func CAQRFactorize(comm *mpi.Comm, in Input, cfg CAQRConfig) *CAQRResult {
 		}
 	}
 	ctx := comm.Ctx()
-	g := ctx.World().Grid()
 	me := comm.Rank()
 	myOff, myEnd := in.Offsets[me], in.Offsets[me+1]
 	res := &CAQRResult{}
@@ -109,7 +108,7 @@ func CAQRFactorize(comm *mpi.Comm, in Input, cfg CAQRConfig) *CAQRResult {
 		}
 
 		// --- Reduction tree over the active ranks, grid-tuned ---
-		sched := caqrSchedule(g, active)
+		sched := caqrSchedule(comm, active)
 		panelIdx := j / nb
 		var r *matrix.Dense
 		if ctx.HasData() {

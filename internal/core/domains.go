@@ -6,12 +6,12 @@ import (
 	"gridqr/internal/mpi"
 )
 
-// domain is one TSQR leaf: a consecutive group of world ranks jointly
+// domain is one TSQR leaf: a consecutive group of comm ranks jointly
 // factoring a contiguous block of global rows.
 type domain struct {
 	id      int   // global domain index
 	cluster int   // geographical site
-	ranks   []int // world ranks, leader first
+	ranks   []int // comm ranks, leader first
 }
 
 func (d domain) leader() int { return d.ranks[0] }
@@ -21,23 +21,29 @@ func (d domain) leader() int { return d.ranks[0] }
 type layout struct {
 	domains    []domain
 	perCluster [][]int // cluster -> domain ids, in rank order
-	ofRank     []int   // world rank -> domain id
+	ofRank     []int   // comm rank -> domain id
 }
 
 // buildLayout splits every cluster's ranks into domainsPerCluster equal
 // consecutive groups. It panics when the division is impossible — the
 // meta-scheduler's equal-power constraint guarantees it in practice.
-func buildLayout(ctx *mpi.Ctx, domainsPerCluster int) *layout {
-	g := ctx.World().Grid()
-	p := ctx.Size()
-	// Cluster rank ranges are contiguous by grid placement.
+// Topology is queried through the communicator, so the layout is correct
+// on the world comm and on any site-aligned partition of it (consecutive
+// comm ranks on the same site form one "cluster" of the layout even when
+// the partition's sites are not the grid's first sites).
+func buildLayout(comm *mpi.Comm, domainsPerCluster int) *layout {
+	p := comm.Size()
+	// Cluster rank ranges are contiguous by grid placement; group
+	// consecutive runs of comm ranks sharing a site.
 	var clusterRanks [][]int
+	last := -1
 	for r := 0; r < p; r++ {
-		c := g.ClusterOf(r)
-		if c == len(clusterRanks) {
+		c := comm.ClusterOf(r)
+		if len(clusterRanks) == 0 || c != last {
 			clusterRanks = append(clusterRanks, nil)
+			last = c
 		}
-		clusterRanks[c] = append(clusterRanks[c], r)
+		clusterRanks[len(clusterRanks)-1] = append(clusterRanks[len(clusterRanks)-1], r)
 	}
 	l := &layout{perCluster: make([][]int, len(clusterRanks)), ofRank: make([]int, p)}
 	for c, ranks := range clusterRanks {

@@ -196,8 +196,7 @@ func FactorizeFT(comm *mpi.Comm, in Input, cfg Config) (*FTResult, error) {
 		st.buddyCopy = unpackTriu(buf, in.N)
 	}
 
-	g := ctx.World().Grid()
-	clusterOf := func(r int) int { return g.ClusterOf(comm.WorldRank(r)) }
+	clusterOf := comm.ClusterOf
 	knownDead := map[int]bool{}
 	for epoch := 0; epoch <= p; epoch++ {
 		st.stats.Epochs = epoch + 1

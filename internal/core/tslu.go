@@ -64,7 +64,7 @@ func TSLUFactorize(comm *mpi.Comm, in Input, cfg TSLUConfig) *TSLUResult {
 	if myRows < n {
 		panic("core: TSLU needs at least N rows per process")
 	}
-	l := buildLayout(ctx, 0) // one domain per process
+	l := buildLayout(comm, 0) // one domain per process
 	sched, _ := buildSchedule(cfg.Tree, l, 0)
 	res := &TSLUResult{}
 

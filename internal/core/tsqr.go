@@ -19,14 +19,17 @@ const (
 	finalRTag = 1<<23 - 1
 )
 
-// Factorize runs QCG-TSQR on a world-spanning communicator (comm rank i
-// must be world rank i, as returned by mpi.WorldComm). Input.Local is
-// overwritten with factorization internals, like LAPACK. See Config for
-// the tree and domain knobs.
+// Factorize runs QCG-TSQR on a communicator: the world comm returned by
+// mpi.WorldComm, or any site-aligned partition of it built with
+// Comm.Split/Comm.Sub (comm ranks on the same site must be consecutive,
+// which grid placement guarantees for cluster-aligned partitions). The R
+// factor lands on comm rank 0; Input offsets and rank references are comm
+// ranks. Input.Local is overwritten with factorization internals, like
+// LAPACK. See Config for the tree and domain knobs.
 func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	in.validate(comm)
 	ctx := comm.Ctx()
-	l := buildLayout(ctx, cfg.DomainsPerCluster)
+	l := buildLayout(comm, cfg.DomainsPerCluster)
 	for _, d := range l.domains {
 		rows := in.Offsets[d.ranks[len(d.ranks)-1]+1] - in.Offsets[d.leader()]
 		if rows < in.N {

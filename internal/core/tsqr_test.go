@@ -338,7 +338,7 @@ func TestBuildLayout(t *testing.T) {
 		if ctx.Rank() != 0 {
 			return
 		}
-		l := buildLayout(ctx, 2)
+		l := buildLayout(mpi.WorldComm(ctx), 2)
 		if len(l.domains) != 4 {
 			t.Errorf("domains = %d want 4", len(l.domains))
 		}
@@ -363,7 +363,7 @@ func TestScheduleShapes(t *testing.T) {
 		if ctx.Rank() != 0 {
 			return
 		}
-		l := buildLayout(ctx, 0) // 4 domains, 2 per cluster
+		l := buildLayout(mpi.WorldComm(ctx), 0) // 4 domains, 2 per cluster
 		ms, root := buildSchedule(TreeGrid, l, 0)
 		if root != 0 {
 			t.Errorf("grid root = %d", root)

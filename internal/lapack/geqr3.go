@@ -59,7 +59,8 @@ func dgeqr3(a, t *matrix.Dense) {
 	x := t12 // accumulate in place
 	// X = (V2unitᵀ · V1bot[0:n2, :])ᵀ = V1bot[0:n2,:]ᵀ · V2unit
 	head := v1bot.View(0, 0, n2, n1).Clone() // n2×n1
-	u := lowerAsUpperT(a.View(n1, n1, n2, n2))
+	u, uP := lowerAsUpperT(a.View(n1, n1, n2, n2))
+	defer putWork(uP)
 	// V2unitᵀ·head = Dtrmm(NoTrans... V2unit = Uᵀ → V2unitᵀ = U.
 	blas.Dtrmm(blas.Left, blas.NoTrans, true, 1, u, head)
 	for c := 0; c < n2; c++ {

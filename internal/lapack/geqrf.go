@@ -22,7 +22,9 @@ func Dgeqr2(a *matrix.Dense, tau []float64) {
 	if len(tau) < k {
 		panic("lapack: Dgeqr2 tau too short")
 	}
-	work := make([]float64, n)
+	workP := getWork(n)
+	defer putWork(workP)
+	work := *workP
 	for j := 0; j < k; j++ {
 		col := a.Col(j)
 		beta, t := Dlarfg(col[j], col[j+1:])
@@ -85,8 +87,10 @@ func Dlarfb(trans blas.Transpose, v, t, c *matrix.Dense) {
 	}
 	// W = Vᵀ·C  (k×n), exploiting the unit lower-trapezoidal structure:
 	// V = [V1; V2] with V1 unit lower triangular k×k, V2 rectangular.
-	w := matrix.New(k, n)
-	u := lowerAsUpperT(v.View(0, 0, k, k)) // U = V1ᵀ, upper triangular unit diag
+	w, wP := getMat(k, n)
+	defer putWork(wP)
+	u, uP := lowerAsUpperT(v.View(0, 0, k, k)) // U = V1ᵀ, upper triangular unit diag
+	defer putWork(uP)
 	// W = V1ᵀ·C1 = U·C1
 	matrix.Copy(w, c.View(0, 0, k, n))
 	blas.Dtrmm(blas.Left, blas.NoTrans, true, 1, u, w)
@@ -101,7 +105,9 @@ func Dlarfb(trans blas.Transpose, v, t, c *matrix.Dense) {
 		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, v.View(k, 0, m-k, k), w, 1, c.View(k, 0, m-k, n))
 	}
 	// C1 -= V1·W = Uᵀ·W
-	v1w := w.Clone()
+	v1w, v1wP := getMat(k, n)
+	defer putWork(v1wP)
+	matrix.Copy(v1w, w)
 	blas.Dtrmm(blas.Left, blas.Trans, true, 1, u, v1w)
 	for j := 0; j < n; j++ {
 		blas.Daxpy(-1, v1w.Col(j), c.Col(j)[:k])
@@ -111,17 +117,19 @@ func Dlarfb(trans blas.Transpose, v, t, c *matrix.Dense) {
 // lowerAsUpperT returns U = V1ᵀ where V1 is the unit lower triangular k×k
 // head of the reflector block: Dtrmm only handles upper triangular
 // operands, so applying V1 becomes Dtrmm with U transposed and applying
-// V1ᵀ becomes Dtrmm with U untransposed.
-func lowerAsUpperT(v1 *matrix.Dense) *matrix.Dense {
+// V1ᵀ becomes Dtrmm with U untransposed. U lives on pooled storage —
+// only its diagonal and strict upper triangle are defined, which is all
+// Dtrmm ever reads; the caller releases the second return with putWork.
+func lowerAsUpperT(v1 *matrix.Dense) (*matrix.Dense, *[]float64) {
 	k := v1.Rows
-	u := matrix.New(k, k)
+	u, uP := getMat(k, k)
 	for j := 0; j < k; j++ {
 		u.Set(j, j, 1)
 		for i := j + 1; i < k; i++ {
 			u.Set(j, i, v1.At(i, j)) // U[j,i] = V1[i,j]
 		}
 	}
-	return u
+	return u, uP
 }
 
 func applyT(trans blas.Transpose, t, w *matrix.Dense) {
@@ -145,7 +153,10 @@ func Dgeqrf(a *matrix.Dense, tau []float64, nb int) {
 		Dgeqr2(a, tau)
 		return
 	}
-	t := matrix.New(nb, nb)
+	// T's lower triangle is never read (Dlarft writes, applyT's Dtrmm
+	// reads only the upper triangle), so pooled dirty storage is safe.
+	t, tP := getMat(nb, nb)
+	defer putWork(tP)
 	for j := 0; j < k; j += nb {
 		jb := min(nb, k-j)
 		panel := a.View(j, j, m-j, jb)

@@ -42,6 +42,17 @@ func (c *Comm) Ctx() *Ctx { return c.ctx }
 // WorldRank translates a comm rank to a world rank.
 func (c *Comm) WorldRank(r int) int { return c.members[r] }
 
+// Cluster returns the geographical site of this process.
+func (c *Comm) Cluster() int { return c.ctx.Cluster() }
+
+// ClusterOf returns the geographical site of a comm rank, translating
+// through the member list. Algorithms query topology through this (never
+// through world ranks directly), so the same code runs unchanged on the
+// world communicator and on a Split/Sub partition of it.
+func (c *Comm) ClusterOf(r int) int {
+	return c.ctx.world.g.ClusterOf(c.members[r])
+}
+
 // checkTag rejects negative user tags: tags < 0 are reserved for the
 // communicator's own collective traffic, and a user message carrying one
 // could cross-match a collective's.

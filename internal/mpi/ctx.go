@@ -30,6 +30,14 @@ func (c *Ctx) HasData() bool { return c.world.hasData }
 // Virtual reports whether time is simulated.
 func (c *Ctx) Virtual() bool { return c.world.virtual }
 
+// LocalCounters returns a snapshot of this rank's own traffic and flop
+// tallies: messages and bytes it sent (per link class) and flops it was
+// charged. Unlike World.Counters these are owner-goroutine values with no
+// lock on the hot path, and deltas around a bracketed region attribute
+// traffic to that region exactly — the mechanism the job scheduler uses
+// to account messages and bytes per job.
+func (c *Ctx) LocalCounters() CounterSnapshot { return c.world.rankCounts[c.rank] }
+
 // World returns the Ctx's world, for counter access in tests.
 func (c *Ctx) World() *World { return c.world }
 
@@ -102,6 +110,7 @@ func (c *Ctx) ChargeKernel(kernel string, flopCount float64, panelN int) {
 	c.maybeDie()
 	c.world.fstate[c.rank].ops++
 	c.world.counters.addFlops(flopCount)
+	c.world.rankCounts[c.rank].Flops += flopCount
 	if m := c.world.metrics; m != nil {
 		m.flops.Add(flopCount)
 	}
@@ -205,6 +214,9 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 		}
 	}
 	c.world.counters.record(class, bytes)
+	rc := &c.world.rankCounts[c.rank]
+	rc.PerClass[class].Msgs++
+	rc.PerClass[class].Bytes += bytes
 	if m := c.world.metrics; m != nil {
 		m.msgs[class].Inc()
 		m.bytes[class].Add(bytes)

@@ -190,6 +190,15 @@ type FaultCounts struct {
 // propagating a failure.
 type killSentinel struct{ rank int }
 
+// IsKillPanic reports whether a recovered panic value is the fault
+// layer's kill sentinel. Long-running per-rank loops (like the job
+// scheduler's dispatch loop) that recover job-level panics must re-panic
+// kill sentinels so World.Run records the death instead of masking it.
+func IsKillPanic(p any) bool {
+	_, ok := p.(killSentinel)
+	return ok
+}
+
 // PlanFromFailureRates derives a kill plan from the grid's per-site
 // failure rates: each rank dies within the horizon with probability
 // 1 − exp(−rate·horizon), at a deterministic operation index below

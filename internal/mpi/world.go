@@ -44,10 +44,11 @@ type World struct {
 	compute          []float64 // virtual seconds each rank spent computing
 	wait             [][3]float64
 	traced           bool
-	trace            *telemetry.Trace // nil unless traced; per-rank tracks, owner-goroutine access during Run
-	sendSeq          []int64          // per-rank message sequence, the flow identity of each send
-	metrics          *worldMetrics    // nil unless WithMetrics was given
-	slowdown         []float64        // per-rank compute multiplier (1 = nominal)
+	trace            *telemetry.Trace  // nil unless traced; per-rank tracks, owner-goroutine access during Run
+	sendSeq          []int64           // per-rank message sequence, the flow identity of each send
+	rankCounts       []CounterSnapshot // per-rank traffic/flop tallies; owner-goroutine access during Run
+	metrics          *worldMetrics     // nil unless WithMetrics was given
+	slowdown         []float64         // per-rank compute multiplier (1 = nominal)
 	pendingSlowdowns []pendingSlowdown
 	counters         Counters
 	start            time.Time
@@ -171,6 +172,7 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 	w.compute = make([]float64, w.n)
 	w.wait = make([][3]float64, w.n)
 	w.sendSeq = make([]int64, w.n)
+	w.rankCounts = make([]CounterSnapshot, w.n)
 	if w.traced {
 		w.trace = telemetry.NewTrace(w.n)
 		sites := make([]int, w.n)
@@ -197,6 +199,9 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.n }
+
+// Virtual reports whether the world runs on simulated time.
+func (w *World) Virtual() bool { return w.virtual }
 
 // Grid returns the platform description ranks are placed on.
 func (w *World) Grid() *grid.Grid { return w.g }

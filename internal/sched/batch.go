@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"gridqr/internal/matrix"
+	"gridqr/internal/perfmodel"
+)
+
+// Batching stacks k compatible TS matrices into one block-diagonal
+// factorization: QR of diag(A₁..A_k) runs a single reduction tree whose R
+// is diag(R₁..R_k) — the column supports are disjoint, so every
+// off-diagonal update is exactly zero and each job's R factor is the
+// corresponding diagonal block, bit for bit the factor of A_j alone up to
+// the usual rounding of the wider panels. The fusion trades flops (the
+// panel is kN wide) for latency (one tree traversal instead of k), which
+// is profitable exactly when wide-area latency dominates — the regime the
+// paper's Equation 1 identifies for small N.
+
+// compatible reports whether two specs may share one batched execution:
+// both batchable TSQR jobs over matrices of identical shape.
+func compatible(a, b JobSpec) bool {
+	return a.Kind == KindTSQR && b.Kind == KindTSQR &&
+		a.Batchable && b.Batchable && a.M == b.M && a.N == b.N
+}
+
+// batchProfitable consults the partition's performance model: fusing k+1
+// jobs must beat running the (k+1)-th job separately after the first k,
+// i.e. the fused tree must be cheaper than k+1 sequential trees.
+func batchProfitable(pred perfmodel.Predictor, m, n, k int) bool {
+	fused := pred.TSQRTime((k*m)+m, (k*n)+n, false)
+	solo := pred.TSQRTime(m, n, false)
+	return fused < float64(k+1)*solo
+}
+
+// stackedLocal builds one rank's row block of the block-diagonal stacked
+// matrix diag(A₁..A_k), where job j's matrix is RandomRows seeded with
+// seeds[j]. The block covers global stacked rows [rowOff, rowOff+rows) of
+// a (k·m)×(k·n) matrix: stacked row g belongs to job g/m and carries that
+// job's row g%m in column band [j·n, (j+1)·n).
+func stackedLocal(seeds []int64, m, n, rowOff, rows int) *matrix.Dense {
+	k := len(seeds)
+	local := matrix.New(rows, k*n)
+	for i := 0; i < rows; i++ {
+		g := rowOff + i
+		j := g / m
+		row := g % m
+		for c := 0; c < n; c++ {
+			local.Set(i, j*n+c, matrix.RandomAt(seeds[j], row, c))
+		}
+	}
+	return local
+}
+
+// extractR returns job j's N×N factor from the stacked kN×kN R: its
+// diagonal block, with signs left as the factorization produced them.
+func extractR(stacked *matrix.Dense, j, n int) *matrix.Dense {
+	return stacked.View(j*n, j*n, n, n).Clone()
+}

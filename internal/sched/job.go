@@ -1,0 +1,211 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+)
+
+// Kind selects which factorization a job runs. Every kind wraps one of
+// the existing core entry points, so the serving layer adds no numerics
+// of its own.
+type Kind int
+
+const (
+	// KindTSQR factors the job's matrix with QCG-TSQR (R factor only);
+	// the only kind eligible for batching.
+	KindTSQR Kind = iota
+	// KindCAQR runs the panel-wise CAQR factorization.
+	KindCAQR
+	// KindCholQR runs the single-allreduce CholeskyQR scheme; the job
+	// fails with a *CholQRError when the Gram matrix is indefinite.
+	KindCholQR
+	// KindLstSq solves min‖A·x−b‖₂ through TSQR (data mode only).
+	KindLstSq
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTSQR:
+		return "tsqr"
+	case KindCAQR:
+		return "caqr"
+	case KindCholQR:
+		return "cholqr"
+	case KindLstSq:
+		return "lstsq"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// JobSpec describes one factorization request.
+type JobSpec struct {
+	Kind Kind
+	// M, N are the global matrix dimensions (M ≫ N).
+	M, N int
+	// NRHS is the number of right-hand sides for KindLstSq (default 1).
+	NRHS int
+	// Seed generates the job's matrix deterministically by global row
+	// (matrix.RandomRows), so the same spec denotes the same matrix
+	// regardless of which partition — or how many ranks — serves it.
+	Seed int64
+	// Priority orders admission: higher runs sooner; ties are FIFO.
+	Priority int
+	// Deadline bounds the queue wait: a job still undispatched after
+	// this duration completes with ErrDeadlineExceeded. Zero = none.
+	Deadline time.Duration
+	// Batchable allows the scheduler to stack this job with other
+	// compatible TSQR jobs into one block-diagonal factorization when
+	// the performance model says the fused reduction is cheaper.
+	Batchable bool
+}
+
+// Admission and execution errors. Submit returns them directly;
+// execution failures arrive through JobResult.Err.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded admission
+	// queue is at capacity and the caller should retry later or shed.
+	ErrQueueFull = errors.New("sched: admission queue full")
+	// ErrServerClosed rejects submissions after Close began.
+	ErrServerClosed = errors.New("sched: server closed")
+	// ErrCanceled completes a job whose Cancel ran before dispatch.
+	ErrCanceled = errors.New("sched: job canceled")
+	// ErrDeadlineExceeded completes a job whose queue wait outlived its
+	// deadline.
+	ErrDeadlineExceeded = errors.New("sched: deadline exceeded in queue")
+	// ErrNoPartition fails a job when no healthy partition remains (all
+	// lost ranks to the fault plan).
+	ErrNoPartition = errors.New("sched: no healthy partition")
+)
+
+// SpecError reports an infeasible or malformed JobSpec at submission.
+type SpecError struct{ Reason string }
+
+func (e *SpecError) Error() string { return "sched: bad job spec: " + e.Reason }
+
+// CholQRError reports a CholeskyQR job whose Gram matrix was numerically
+// indefinite — the input was too ill-conditioned for the scheme.
+type CholQRError struct{}
+
+func (e *CholQRError) Error() string {
+	return "sched: CholeskyQR failed (Gram matrix indefinite)"
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	// R is the N×N upper triangular factor (nil in cost-only mode and
+	// for failed jobs). For KindLstSq it is nil; see X.
+	R *matrix.Dense
+	// X is the N×NRHS least-squares solution (KindLstSq only), with
+	// Resid the per-column residual norms.
+	X     *matrix.Dense
+	Resid []float64
+	// Err is non-nil when the job failed; it is typed (*core.FTError,
+	// *mpi.RankFailedError, *CholQRError, ErrCanceled, ...).
+	Err error
+
+	// Partition is the index of the grid partition that served the job
+	// (-1 if it never dispatched).
+	Partition int
+	// BatchSize is the number of jobs fused into the execution that
+	// served this one (1 = ran alone).
+	BatchSize int
+	// Retries counts re-dispatches after retryable failures.
+	Retries int
+
+	// QueueWait is the wall-clock time from submission to dispatch,
+	// Service from dispatch to completion; in a virtual-time world
+	// Service is instead the maximum virtual-clock advance across the
+	// partition's ranks.
+	QueueWait time.Duration
+	Service   time.Duration
+
+	// Counters attributes traffic to this job: messages, bytes and
+	// flops summed over the serving partition's ranks between job start
+	// and job end (batched jobs share their execution's totals).
+	Counters mpi.CounterSnapshot
+}
+
+// Job is the future returned by Submit.
+type Job struct {
+	spec     JobSpec
+	id       int64
+	seq      int64 // admission order, the FIFO tiebreak
+	submit   time.Time
+	canceled atomic.Bool
+	done     chan struct{}
+	res      JobResult
+
+	// Dispatcher/watcher-owned state; accesses are ordered by the queue
+	// mutex (a retried job passes through the queue between owners).
+	retries    int
+	dispatched time.Time
+}
+
+// Spec returns the job's submitted specification.
+func (j *Job) Spec() JobSpec { return j.spec }
+
+// ID returns the job's server-unique id.
+func (j *Job) ID() int64 { return j.id }
+
+// Done returns a channel closed when the result is ready.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result blocks until the job completes and returns its outcome.
+func (j *Job) Result() *JobResult {
+	<-j.done
+	return &j.res
+}
+
+// Cancel requests cancellation. A job still in the admission queue
+// completes with ErrCanceled; a job already dispatched runs to completion
+// and Cancel has no effect on its result.
+func (j *Job) Cancel() { j.canceled.Store(true) }
+
+// complete resolves the future exactly once; the queue/dispatcher
+// protocol guarantees a single completer per job.
+func (j *Job) complete(res JobResult) {
+	j.res = res
+	close(j.done)
+}
+
+// validate checks a spec against the serving partitions: the matrix must
+// be tall enough for every partition's one-domain-per-process TSQR
+// (rows per rank ≥ N), CAQR row blocks must divide by its panel width,
+// and least-squares needs data mode.
+func (s *Server) validate(spec JobSpec) error {
+	if spec.M < 1 || spec.N < 1 || spec.M < spec.N {
+		return &SpecError{Reason: fmt.Sprintf("need M >= N >= 1, got %dx%d", spec.M, spec.N)}
+	}
+	if spec.Kind == KindLstSq {
+		if !s.hasData {
+			return &SpecError{Reason: "least-squares requires data mode"}
+		}
+		if spec.NRHS < 0 {
+			return &SpecError{Reason: "negative NRHS"}
+		}
+	}
+	if spec.Batchable && spec.Kind != KindTSQR {
+		return &SpecError{Reason: "only TSQR jobs are batchable"}
+	}
+	for _, p := range s.parts {
+		procs := len(p.members)
+		if spec.M/procs < spec.N {
+			return &SpecError{Reason: fmt.Sprintf(
+				"matrix %dx%d not tall enough for partition %d (%d procs need M >= %d)",
+				spec.M, spec.N, p.index, procs, spec.N*procs)}
+		}
+		if spec.Kind == KindCAQR {
+			if spec.M%procs != 0 || (spec.M/procs)%caqrNB != 0 {
+				return &SpecError{Reason: fmt.Sprintf(
+					"CAQR needs row blocks divisible by NB=%d on partition %d", caqrNB, p.index)}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func mkJob(seq int64, prio int) *Job {
+	return &Job{
+		spec:   JobSpec{Kind: KindTSQR, M: 64, N: 4, Priority: prio},
+		id:     seq,
+		seq:    seq,
+		submit: time.Now(),
+		done:   make(chan struct{}),
+	}
+}
+
+func TestQueuePriorityAndFIFO(t *testing.T) {
+	q := newQueue(16, func(*Job, error) {})
+	for i, prio := range []int{0, 5, 0, 5, 1} {
+		if err := q.push(mkJob(int64(i), prio)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var order []int64
+	for {
+		j, ok := q.pop(false)
+		if !ok {
+			break
+		}
+		order = append(order, j.seq)
+	}
+	want := []int64{1, 3, 4, 0, 2} // priority desc, FIFO within
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestQueueBackpressureAndClose(t *testing.T) {
+	q := newQueue(2, func(*Job, error) {})
+	if err := q.push(mkJob(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkJob(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(mkJob(2, 0)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("push at capacity: %v", err)
+	}
+	q.close()
+	if err := q.push(mkJob(3, 0)); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	// Queued jobs still drain after close, then blocking pop unblocks.
+	if _, ok := q.pop(true); !ok {
+		t.Fatal("queued job lost at close")
+	}
+	if _, ok := q.pop(true); !ok {
+		t.Fatal("queued job lost at close")
+	}
+	if _, ok := q.pop(true); ok {
+		t.Fatal("pop invented a job")
+	}
+}
+
+func TestQueueDropsCanceledAndExpired(t *testing.T) {
+	var dropped []error
+	q := newQueue(8, func(_ *Job, err error) { dropped = append(dropped, err) })
+	c := mkJob(0, 0)
+	c.Cancel()
+	e := mkJob(1, 0)
+	e.spec.Deadline = time.Nanosecond
+	e.submit = time.Now().Add(-time.Hour)
+	live := mkJob(2, 0)
+	for _, j := range []*Job{c, e, live} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, ok := q.pop(false)
+	if !ok || j.seq != 2 {
+		t.Fatalf("pop returned %v, want live job", j)
+	}
+	if len(dropped) != 2 || !errors.Is(dropped[0], ErrCanceled) || !errors.Is(dropped[1], ErrDeadlineExceeded) {
+		t.Fatalf("drops %v, want [canceled, deadline]", dropped)
+	}
+}
+
+func TestQueuePopMatch(t *testing.T) {
+	q := newQueue(8, func(*Job, error) {})
+	a := mkJob(0, 0)
+	b := mkJob(1, 3)
+	c := mkJob(2, 0)
+	b.spec.N = 8 // incompatible shape
+	for _, j := range []*Job{a, b, c} {
+		if err := q.push(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j, ok := q.popMatch(func(o *Job) bool { return o.spec.N == 4 })
+	if !ok || j.seq != 0 {
+		t.Fatalf("popMatch got seq %d, want 0", j.seq)
+	}
+	if _, ok := q.popMatch(func(o *Job) bool { return o.spec.N == 99 }); ok {
+		t.Fatal("popMatch matched nothing yet returned a job")
+	}
+	if q.len() != 2 {
+		t.Fatalf("len %d after one matched pop, want 2", q.len())
+	}
+}
+
+// FuzzAdmission drives the admission queue with a random sequence of
+// arrivals (random priority/deadline), cancellations, pops and a close,
+// asserting the safety invariants: the capacity bound always holds, no
+// job is lost, and no job is completed twice (a double complete panics
+// on the closed done channel).
+func FuzzAdmission(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0x01, 0xc0, 0x03})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x01, 0x01, 0x80, 0x80, 0x80})
+	f.Add([]byte{0xff, 0x00, 0x3f, 0x7f, 0xbf})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 4
+		popped := 0
+		dropped := 0
+		q := newQueue(capacity, func(j *Job, err error) {
+			dropped++
+			j.complete(JobResult{Err: err}) // panics if completed twice
+		})
+		var all, pending []*Job
+		var seq int64
+		closed := false
+		for _, op := range ops {
+			switch op >> 6 {
+			case 0: // push
+				j := mkJob(seq, int(op&0x1f))
+				if op&0x20 != 0 {
+					// Already-expired deadline, deterministically.
+					j.spec.Deadline = time.Nanosecond
+					j.submit = time.Now().Add(-time.Hour)
+				}
+				seq++
+				err := q.push(j)
+				switch {
+				case err == nil:
+					all = append(all, j)
+					pending = append(pending, j)
+				case errors.Is(err, ErrQueueFull):
+					if q.len() < capacity {
+						t.Fatalf("ErrQueueFull at len %d < cap %d", q.len(), capacity)
+					}
+				case errors.Is(err, ErrServerClosed):
+					if !closed {
+						t.Fatal("ErrServerClosed before close")
+					}
+				default:
+					t.Fatalf("unexpected push error %v", err)
+				}
+			case 1: // cancel a pending job
+				if len(pending) > 0 {
+					pending[int(op)%len(pending)].Cancel()
+				}
+			case 2: // pop
+				if j, ok := q.pop(false); ok {
+					popped++
+					j.complete(JobResult{}) // panics if completed twice
+				}
+			case 3: // close (idempotent)
+				q.close()
+				closed = true
+			}
+			if q.len() > capacity {
+				t.Fatalf("queue length %d exceeds cap %d", q.len(), capacity)
+			}
+		}
+		// Drain: every admitted job must come out exactly once, either
+		// as a pop or as a drop.
+		for {
+			j, ok := q.pop(false)
+			if !ok {
+				break
+			}
+			popped++
+			j.complete(JobResult{})
+		}
+		if popped+dropped != len(all) {
+			t.Fatalf("admitted %d jobs, popped %d + dropped %d", len(all), popped, dropped)
+		}
+		for i, j := range all {
+			select {
+			case <-j.done:
+			default:
+				t.Fatalf("job %d admitted but never completed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,695 @@
+// Package sched is the serving layer: a job scheduler multiplexing many
+// factorization requests over one simulated grid. The grid is
+// space-shared — the world communicator is split once into disjoint
+// site-aligned partitions (Comm.Split, so sub-worlds keep fault
+// injection, telemetry and cost accounting) — and jobs run concurrently,
+// one at a time per partition, exactly as a QCG-style meta-scheduler
+// places successive TSQR runs on grid subsets. Compatible small TSQR
+// jobs are fused into one block-diagonal factorization when the
+// perfmodel Predictor says the shared reduction tree is cheaper than
+// separate ones.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridqr/internal/core"
+	"gridqr/internal/grid"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+	"gridqr/internal/perfmodel"
+	"gridqr/internal/scalapack"
+	"gridqr/internal/telemetry"
+)
+
+// caqrNB is the CAQR panel width used for served jobs; admission
+// validates row-block divisibility against it.
+const caqrNB = 8
+
+// Config configures a Server.
+type Config struct {
+	// Grid is the platform (required).
+	Grid *grid.Grid
+	// Plan partitions the grid; zero value means one partition per site.
+	Plan Plan
+	// QueueCap bounds the admission queue (default 64). A full queue
+	// rejects Submit with ErrQueueFull — backpressure, not buffering.
+	QueueCap int
+	// MaxBatch caps how many compatible TSQR jobs one execution may
+	// fuse (default 8; 1 disables batching).
+	MaxBatch int
+	// MaxRetries bounds re-dispatches after retryable failures
+	// (default 2).
+	MaxRetries int
+	// Virtual runs the world in virtual (LogGP) time; CostOnly
+	// additionally drops local data (no R factors in results).
+	Virtual  bool
+	CostOnly bool
+	// Faults arms the fault-injection plan on the whole world; every
+	// partition inherits it through the split.
+	Faults *mpi.FaultPlan
+	// Registry receives per-job serving metrics (and, passed down to
+	// the world, per-message transport metrics). Optional.
+	Registry *telemetry.Registry
+	// FT enables the fault-tolerant TSQR protocol for served TSQR jobs
+	// (data mode only).
+	FT core.FTOptions
+}
+
+// partition is one space-share of the grid: a site-aligned rank range
+// with its own sub-communicator, running at most one execution at a time.
+type partition struct {
+	index   int
+	members []int // world ranks, ascending
+	pred    perfmodel.Predictor
+	chans   []chan *jobExec // per member index, buffered 1
+	healthy atomic.Bool
+}
+
+// jobExec is one dispatched execution: a single job or a fused batch.
+type jobExec struct {
+	id         int64 // first job's id; names the execution's comm
+	jobs       []*Job
+	part       *partition
+	dispatched time.Time
+	reports    chan memberReport
+}
+
+// memberReport is one partition member's out-of-band account of an
+// execution — result payload from the leader, traffic deltas from
+// everyone. Reporting uses Go channels, not simulated messages, so job
+// accounting adds no MPI traffic (it models the middleware's control
+// plane, which the paper's counts exclude).
+type memberReport struct {
+	member     int
+	err        error
+	counters   mpi.CounterSnapshot // this member's traffic during the execution
+	clockDelta float64             // virtual seconds spent (virtual mode)
+	r          *matrix.Dense       // leader only; stacked for batches
+	x          *matrix.Dense       // leader only, KindLstSq
+	resid      []float64
+}
+
+type serverMetrics struct {
+	submitted, completed, failed, rejected *telemetry.Counter
+	canceled, expired, retries             *telemetry.Counter
+	batches, batchedJobs                   *telemetry.Counter
+	queueWait, service, latency            *telemetry.Histogram
+	jobMsgs, jobBytes                      *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	return serverMetrics{
+		submitted:   reg.Counter("sched.jobs.submitted"),
+		completed:   reg.Counter("sched.jobs.completed"),
+		failed:      reg.Counter("sched.jobs.failed"),
+		rejected:    reg.Counter("sched.jobs.rejected"),
+		canceled:    reg.Counter("sched.jobs.canceled"),
+		expired:     reg.Counter("sched.jobs.expired"),
+		retries:     reg.Counter("sched.jobs.retries"),
+		batches:     reg.Counter("sched.batches"),
+		batchedJobs: reg.Counter("sched.batched_jobs"),
+		queueWait:   reg.Histogram("sched.queue_wait_seconds"),
+		service:     reg.Histogram("sched.service_seconds"),
+		latency:     reg.Histogram("sched.latency_seconds"),
+		jobMsgs:     reg.Histogram("sched.job.msgs"),
+		jobBytes:    reg.Histogram("sched.job.bytes"),
+	}
+}
+
+// Server multiplexes factorization jobs over the grid.
+type Server struct {
+	cfg     Config
+	world   *mpi.World
+	parts   []*partition
+	queue   *queue
+	hasData bool
+	metrics serverMetrics
+
+	rankColor  []int // world rank -> partition index (-1 = idle spare)
+	rankMember []int // world rank -> member index within its partition
+
+	free         chan *partition
+	healthyCount atomic.Int32
+	allDead      chan struct{}
+	allDeadOnce  sync.Once
+
+	nextID  atomic.Int64
+	nextSeq atomic.Int64
+
+	execWG       sync.WaitGroup
+	dispatchDone chan struct{}
+	runDone      chan struct{}
+	closed       atomic.Bool
+	closeOnce    sync.Once
+}
+
+// Start builds the world, splits it into the plan's partitions and
+// begins serving. Close must be called to release the rank goroutines.
+func Start(cfg Config) *Server {
+	if cfg.Grid == nil {
+		panic("sched: Config.Grid is required")
+	}
+	if len(cfg.Plan.Groups) == 0 {
+		cfg.Plan = PerSite(cfg.Grid)
+	}
+	if err := cfg.Plan.validate(cfg.Grid); err != nil {
+		panic(err)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	var opts []mpi.Option
+	switch {
+	case cfg.CostOnly:
+		opts = append(opts, mpi.CostOnly())
+	case cfg.Virtual:
+		opts = append(opts, mpi.Virtual())
+	}
+	if cfg.Faults != nil {
+		opts = append(opts, mpi.WithFaults(cfg.Faults))
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	opts = append(opts, mpi.WithMetrics(reg))
+
+	s := &Server{
+		cfg:          cfg,
+		world:        mpi.NewWorld(cfg.Grid, opts...),
+		hasData:      !cfg.CostOnly,
+		metrics:      newServerMetrics(reg),
+		rankColor:    make([]int, cfg.Grid.Procs()),
+		rankMember:   make([]int, cfg.Grid.Procs()),
+		allDead:      make(chan struct{}),
+		dispatchDone: make(chan struct{}),
+		runDone:      make(chan struct{}),
+	}
+	for r := range s.rankColor {
+		s.rankColor[r] = -1
+	}
+	for pi, members := range cfg.Plan.Groups {
+		p := &partition{
+			index:   pi,
+			members: append([]int(nil), members...),
+			pred:    perfmodel.Predictor{G: subGrid(cfg.Grid, members)},
+			chans:   make([]chan *jobExec, len(members)),
+		}
+		p.healthy.Store(true)
+		for i, wr := range members {
+			s.rankColor[wr] = pi
+			s.rankMember[wr] = i
+			p.chans[i] = make(chan *jobExec, 1)
+		}
+		s.parts = append(s.parts, p)
+	}
+	s.queue = newQueue(cfg.QueueCap, s.dropJob)
+	s.free = make(chan *partition, len(s.parts))
+	for _, p := range s.parts {
+		s.free <- p
+	}
+	s.healthyCount.Store(int32(len(s.parts)))
+
+	go func() {
+		s.world.Run(s.rankMain)
+		close(s.runDone)
+	}()
+	go s.dispatcher()
+	return s
+}
+
+// World exposes the underlying runtime (counters, clocks, dead ranks)
+// for tests and the bench harness.
+func (s *Server) World() *mpi.World { return s.world }
+
+// Partitions returns the number of space-shares the server runs.
+func (s *Server) Partitions() int { return len(s.parts) }
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	Submitted, Completed, Failed, Rejected int64
+	Canceled, Expired, Retries             int64
+	Batches, BatchedJobs                   int64
+}
+
+func (s *Server) Stats() Stats {
+	m := &s.metrics
+	return Stats{
+		Submitted: int64(m.submitted.Value()), Completed: int64(m.completed.Value()),
+		Failed: int64(m.failed.Value()), Rejected: int64(m.rejected.Value()),
+		Canceled: int64(m.canceled.Value()), Expired: int64(m.expired.Value()),
+		Retries: int64(m.retries.Value()), Batches: int64(m.batches.Value()),
+		BatchedJobs: int64(m.batchedJobs.Value()),
+	}
+}
+
+// Submit validates and enqueues a job, returning its future. Typed
+// errors: *SpecError for infeasible specs, ErrQueueFull under
+// backpressure, ErrServerClosed after Close.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if s.closed.Load() {
+		s.metrics.rejected.Inc()
+		return nil, ErrServerClosed
+	}
+	if err := s.validate(spec); err != nil {
+		s.metrics.rejected.Inc()
+		return nil, err
+	}
+	j := &Job{
+		spec:   spec,
+		id:     s.nextID.Add(1),
+		seq:    s.nextSeq.Add(1),
+		submit: time.Now(),
+		done:   make(chan struct{}),
+	}
+	if err := s.queue.push(j); err != nil {
+		s.metrics.rejected.Inc()
+		return nil, err
+	}
+	s.metrics.submitted.Inc()
+	return j, nil
+}
+
+// Close drains the queue (queued jobs still run), waits for in-flight
+// executions, then shuts the rank goroutines down. Submissions after
+// Close fail with ErrServerClosed.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		s.queue.close()
+		<-s.dispatchDone
+		for _, p := range s.parts {
+			for _, ch := range p.chans {
+				close(ch)
+			}
+		}
+		<-s.runDone
+	})
+}
+
+// dropJob completes a job the queue or dispatcher rejected before it
+// ever ran (canceled, expired, shed retry).
+func (s *Server) dropJob(j *Job, err error) {
+	switch {
+	case errors.Is(err, ErrCanceled):
+		s.metrics.canceled.Inc()
+	case errors.Is(err, ErrDeadlineExceeded):
+		s.metrics.expired.Inc()
+	default:
+		s.metrics.failed.Inc()
+	}
+	j.complete(JobResult{
+		Err: err, Partition: -1, Retries: j.retries,
+		QueueWait: time.Since(j.submit),
+	})
+}
+
+// dispatcher is the scheduling loop: pop the best runnable job, acquire
+// a free healthy partition, optionally gather a batch, dispatch. It is
+// the only consumer of the queue, so priority order is global.
+func (s *Server) dispatcher() {
+	defer close(s.dispatchDone)
+	for {
+		j, ok := s.queue.pop(true)
+		if !ok {
+			// Queue closed and empty — but in-flight executions may
+			// still requeue retries; wait them out and drain.
+			s.execWG.Wait()
+			if j, ok = s.queue.pop(false); !ok {
+				return
+			}
+		}
+		part := s.acquire()
+		if part == nil {
+			s.dropJob(j, ErrNoPartition)
+			continue
+		}
+		// The wait for a partition may have outlived the job.
+		if err := runnable(j); err != nil {
+			s.dropJob(j, err)
+			s.release(part)
+			continue
+		}
+		jobs := []*Job{j}
+		if s.cfg.MaxBatch > 1 && j.spec.Batchable {
+			for len(jobs) < s.cfg.MaxBatch &&
+				batchProfitable(part.pred, j.spec.M, j.spec.N, len(jobs)) {
+				nj, got := s.queue.popMatch(func(o *Job) bool { return compatible(j.spec, o.spec) })
+				if !got {
+					break
+				}
+				jobs = append(jobs, nj)
+			}
+		}
+		s.dispatch(part, jobs)
+	}
+}
+
+// acquire blocks until a healthy partition is free, or returns nil when
+// every partition has lost ranks.
+func (s *Server) acquire() *partition {
+	select {
+	case p := <-s.free:
+		return p
+	case <-s.allDead:
+		return nil
+	}
+}
+
+// release returns a partition to the pool — or retires it when the
+// fault plan killed one of its ranks.
+func (s *Server) release(p *partition) {
+	for _, wr := range p.members {
+		if s.world.RankDead(wr) {
+			if p.healthy.CompareAndSwap(true, false) {
+				if s.healthyCount.Add(-1) == 0 {
+					s.allDeadOnce.Do(func() { close(s.allDead) })
+				}
+			}
+			return
+		}
+	}
+	s.free <- p
+}
+
+// dispatch hands an execution to every member of the partition and
+// spawns its watcher.
+func (s *Server) dispatch(part *partition, jobs []*Job) {
+	now := time.Now()
+	ex := &jobExec{
+		id: jobs[0].id, jobs: jobs, part: part, dispatched: now,
+		reports: make(chan memberReport, len(part.members)),
+	}
+	for _, j := range jobs {
+		j.dispatched = now
+		s.metrics.queueWait.Observe(now.Sub(j.submit).Seconds())
+	}
+	if len(jobs) > 1 {
+		s.metrics.batches.Inc()
+		s.metrics.batchedJobs.Add(float64(len(jobs)))
+	}
+	s.execWG.Add(1)
+	for _, ch := range part.chans {
+		ch <- ex // buffered; a dead member's channel just holds it
+	}
+	go s.watch(ex)
+}
+
+// rankMain runs on every world rank: split into the partition comm once
+// (before any job, so the split's traffic is attributed to startup, not
+// to jobs), then serve executions from the dispatcher.
+func (s *Server) rankMain(ctx *mpi.Ctx) {
+	world := mpi.WorldComm(ctx)
+	color := s.rankColor[ctx.Rank()]
+	pcomm := world.Split(color, ctx.Rank())
+	if color < 0 {
+		return // spare rank, not in any partition
+	}
+	part := s.parts[color]
+	member := s.rankMember[ctx.Rank()]
+	for ex := range part.chans[member] {
+		s.runExec(ctx, pcomm, member, ex)
+	}
+}
+
+// runExec executes one dispatched job (or batch) on one member rank and
+// reports out of band. A kill panic from the fault plan propagates (the
+// rank is dead; the watcher notices); any other panic becomes this
+// member's error report so the serving loop survives algorithm bugs.
+func (s *Server) runExec(ctx *mpi.Ctx, pcomm *mpi.Comm, member int, ex *jobExec) {
+	reported := false
+	report := func(rep memberReport) {
+		rep.member = member
+		ex.reports <- rep
+		reported = true
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if mpi.IsKillPanic(p) {
+				panic(p)
+			}
+			if !reported {
+				report(memberReport{err: panicError(p)})
+			}
+		}
+	}()
+	before := ctx.LocalCounters()
+	clock0 := ctx.Now()
+	// A fresh sub-communicator per execution gives each job its own tag
+	// namespace for free (Sub is collective-free), so concurrent and
+	// consecutive jobs can never alias messages.
+	all := make([]int, pcomm.Size())
+	for i := range all {
+		all[i] = i
+	}
+	jcomm := pcomm.Sub(all, fmt.Sprintf("j%d", ex.id))
+	rep := s.execute(ctx, jcomm, ex)
+	rep.counters = counterDelta(ctx.LocalCounters(), before)
+	rep.clockDelta = ctx.Now() - clock0
+	report(rep)
+}
+
+// execute runs the execution's factorization on this member's rank of
+// the job communicator.
+func (s *Server) execute(ctx *mpi.Ctx, jcomm *mpi.Comm, ex *jobExec) memberReport {
+	p := jcomm.Size()
+	me := jcomm.Rank()
+	spec := ex.jobs[0].spec
+
+	if len(ex.jobs) > 1 {
+		// Fused batch: factor diag(A₁..A_k) in one reduction tree.
+		k := len(ex.jobs)
+		m, n := k*spec.M, k*spec.N
+		offsets := scalapack.BlockOffsets(m, p)
+		in := core.Input{M: m, N: n, Offsets: offsets}
+		if ctx.HasData() {
+			seeds := make([]int64, k)
+			for i, j := range ex.jobs {
+				seeds[i] = j.spec.Seed
+			}
+			in.Local = stackedLocal(seeds, spec.M, spec.N, offsets[me], offsets[me+1]-offsets[me])
+		}
+		return s.runTSQR(jcomm, in)
+	}
+
+	offsets := scalapack.BlockOffsets(spec.M, p)
+	myRows := offsets[me+1] - offsets[me]
+	in := core.Input{M: spec.M, N: spec.N, Offsets: offsets}
+	if ctx.HasData() {
+		in.Local = matrix.RandomRows(myRows, spec.N, offsets[me], spec.Seed)
+	}
+	switch spec.Kind {
+	case KindTSQR:
+		return s.runTSQR(jcomm, in)
+	case KindCAQR:
+		res := core.CAQRFactorize(jcomm, in, core.CAQRConfig{NB: caqrNB})
+		rep := memberReport{}
+		if me == 0 {
+			rep.r = res.R
+		}
+		return rep
+	case KindCholQR:
+		res := core.CholeskyQR(jcomm, in)
+		rep := memberReport{}
+		if ctx.HasData() && !res.OK {
+			rep.err = &CholQRError{}
+			return rep
+		}
+		if me == 0 {
+			rep.r = res.R
+		}
+		return rep
+	case KindLstSq:
+		nrhs := spec.NRHS
+		if nrhs == 0 {
+			nrhs = 1
+		}
+		b := matrix.RandomRows(myRows, nrhs, offsets[me], spec.Seed^0x5ca1ab1e)
+		x, resid := core.LeastSquares(jcomm, in, b, core.Config{Tree: core.TreeGrid})
+		rep := memberReport{}
+		if me == 0 {
+			rep.x, rep.resid = x, resid
+		}
+		return rep
+	default:
+		return memberReport{err: &SpecError{Reason: fmt.Sprintf("unknown kind %d", spec.Kind)}}
+	}
+}
+
+// runTSQR runs the (possibly fault-tolerant) TSQR entry point.
+func (s *Server) runTSQR(jcomm *mpi.Comm, in core.Input) memberReport {
+	cfg := core.Config{Tree: core.TreeGrid}
+	rep := memberReport{}
+	if s.cfg.FT.Enabled && s.hasData {
+		cfg.FT = s.cfg.FT
+		res, err := core.FactorizeFT(jcomm, in, cfg)
+		if err != nil {
+			rep.err = err
+			return rep
+		}
+		if jcomm.Rank() == 0 {
+			rep.r = res.R
+		}
+		return rep
+	}
+	res := core.Factorize(jcomm, in, cfg)
+	if jcomm.Rank() == 0 {
+		rep.r = res.R
+	}
+	return rep
+}
+
+// watch collects every member's report for one execution, aggregates
+// per-job accounting and completes (or retries) the jobs. With a fault
+// plan armed it polls for member deaths, since a killed rank reports
+// nothing.
+func (s *Server) watch(ex *jobExec) {
+	defer s.execWG.Done()
+	part := ex.part
+	n := len(part.members)
+	got := make(map[int]memberReport, n)
+	var tickC <-chan time.Time
+	if s.cfg.Faults != nil {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for len(got) < n {
+		select {
+		case rep := <-ex.reports:
+			got[rep.member] = rep
+		case <-tickC:
+			for m, wr := range part.members {
+				if _, ok := got[m]; !ok && s.world.RankDead(wr) {
+					got[m] = memberReport{
+						member: m,
+						err:    &mpi.RankFailedError{Rank: wr, Op: "serve"},
+					}
+				}
+			}
+		}
+	}
+
+	var counters mpi.CounterSnapshot
+	var maxClock float64
+	var execErr error
+	for m := 0; m < n; m++ {
+		rep := got[m]
+		addCounters(&counters, rep.counters)
+		if rep.clockDelta > maxClock {
+			maxClock = rep.clockDelta
+		}
+		if rep.err != nil && execErr == nil {
+			execErr = rep.err
+		}
+	}
+	leader := got[0]
+	service := time.Since(ex.dispatched)
+	if s.world.Virtual() {
+		service = time.Duration(maxClock * float64(time.Second))
+	}
+
+	// Free the partition before resolving futures so the next job
+	// overlaps with result delivery.
+	s.release(part)
+	s.finishExec(ex, leader, execErr, counters, service)
+}
+
+// finishExec resolves (or requeues) every job of an execution.
+func (s *Server) finishExec(ex *jobExec, leader memberReport, execErr error,
+	counters mpi.CounterSnapshot, service time.Duration) {
+	n := ex.jobs[0].spec.N
+	for bi, j := range ex.jobs {
+		if execErr != nil {
+			s.failOrRetry(j, execErr)
+			continue
+		}
+		res := JobResult{
+			Partition: ex.part.index,
+			BatchSize: len(ex.jobs),
+			Retries:   j.retries,
+			QueueWait: j.dispatched.Sub(j.submit),
+			Service:   service,
+			Counters:  counters,
+		}
+		if len(ex.jobs) > 1 && leader.r != nil {
+			res.R = extractR(leader.r, bi, n)
+		} else {
+			res.R = leader.r
+		}
+		res.X, res.Resid = leader.x, leader.resid
+		s.metrics.completed.Inc()
+		s.metrics.service.Observe(service.Seconds())
+		s.metrics.latency.Observe(time.Since(j.submit).Seconds())
+		t := counters.Total()
+		s.metrics.jobMsgs.Observe(float64(t.Msgs))
+		s.metrics.jobBytes.Observe(t.Bytes)
+		j.complete(res)
+	}
+}
+
+// failOrRetry requeues a job after a retryable failure (rank death,
+// FT abort, timeout) while healthy partitions and retry budget remain;
+// otherwise it completes the job with the error.
+func (s *Server) failOrRetry(j *Job, execErr error) {
+	if retryable(execErr) && j.retries < s.cfg.MaxRetries && s.healthyCount.Load() > 0 {
+		j.retries++
+		j.spec.Batchable = false // retry alone: no shared fate twice
+		if s.queue.pushRetry(j) == nil {
+			s.metrics.retries.Inc()
+			return
+		}
+	}
+	s.metrics.failed.Inc()
+	j.complete(JobResult{
+		Err: execErr, Partition: -1, Retries: j.retries,
+		QueueWait: j.dispatched.Sub(j.submit),
+	})
+}
+
+// retryable reports whether an execution error is worth another
+// partition: failures injected by the fault layer, not numerics.
+func retryable(err error) bool {
+	var fte *core.FTError
+	var rfe *mpi.RankFailedError
+	var te *mpi.TimeoutError
+	return errors.As(err, &fte) || errors.As(err, &rfe) || errors.As(err, &te)
+}
+
+func panicError(p any) error {
+	if err, ok := p.(error); ok {
+		return err
+	}
+	return fmt.Errorf("sched: execution panic: %v", p)
+}
+
+func counterDelta(after, before mpi.CounterSnapshot) mpi.CounterSnapshot {
+	var d mpi.CounterSnapshot
+	for c := range after.PerClass {
+		d.PerClass[c].Msgs = after.PerClass[c].Msgs - before.PerClass[c].Msgs
+		d.PerClass[c].Bytes = after.PerClass[c].Bytes - before.PerClass[c].Bytes
+	}
+	d.Flops = after.Flops - before.Flops
+	return d
+}
+
+func addCounters(dst *mpi.CounterSnapshot, src mpi.CounterSnapshot) {
+	for c := range src.PerClass {
+		dst.PerClass[c].Msgs += src.PerClass[c].Msgs
+		dst.PerClass[c].Bytes += src.PerClass[c].Bytes
+	}
+	dst.Flops += src.Flops
+}

@@ -81,6 +81,58 @@ func TestHistogramRejectsBadSamples(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantiles([]float64{0.5, 0.99}); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("empty histogram quantiles = %v, want zeros", got)
+	}
+	if got := empty.Quantiles(nil); len(got) != 0 {
+		t.Fatalf("nil quantile list returned %v", got)
+	}
+
+	var one Histogram
+	one.Observe(3e-3)
+	qs := one.Quantiles([]float64{0.01, 0.5, 1})
+	// With one sample every quantile lands in the same bucket, and the
+	// bound must bracket the observation.
+	for i, q := range qs {
+		if q != qs[0] {
+			t.Fatalf("one-sample quantiles disagree: %v", qs)
+		}
+		if q < 3e-3 || q > 3e-2 {
+			t.Fatalf("one-sample quantile %d = %g does not bracket 3e-3", i, q)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []float64{1e-10, 1e-6, 3e-6, 0.5, 2, 1e12} {
+		h.Observe(v)
+	}
+	multi := h.Quantiles([]float64{0.5, 0.9, 1})
+	// The single-pass answers must match the single-target scans.
+	for i, q := range []float64{0.5, 0.9, 1} {
+		if multi[i] != h.Quantile(q) {
+			t.Fatalf("Quantiles(%g) = %g, Quantile = %g", q, multi[i], h.Quantile(q))
+		}
+	}
+	for i := 1; i < len(multi); i++ {
+		if multi[i] < multi[i-1] {
+			t.Fatalf("quantile bounds not monotone: %v", multi)
+		}
+	}
+
+	for _, bad := range [][]float64{{0.9, 0.5}, {0}, {1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantiles(%v) did not panic", bad)
+				}
+			}()
+			h.Quantiles(bad)
+		}()
+	}
+}
+
 // TestConcurrentMetrics exercises the lock-free update paths from many
 // goroutines; `make race` runs this under the race detector.
 func TestConcurrentMetrics(t *testing.T) {

@@ -161,6 +161,43 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return BucketUpper(HistogramBuckets - 1)
 }
 
+// Quantiles returns upper bounds for several quantiles in one pass over
+// the buckets. qs must be sorted ascending, each in (0, 1]; the result
+// is aligned with qs. With no observations every entry is 0 — the same
+// convention as Quantile. One bucket scan serves all targets, so a
+// latency report asking for p50/p90/p99 costs the same as asking for
+// one.
+func (h *Histogram) Quantiles(qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	n := h.count.Load()
+	if n == 0 || len(qs) == 0 {
+		return out
+	}
+	targets := make([]int64, len(qs))
+	for i, q := range qs {
+		if i > 0 && q < qs[i-1] {
+			panic("telemetry: Quantiles wants sorted quantiles")
+		}
+		if q <= 0 || q > 1 {
+			panic("telemetry: quantile out of (0, 1]")
+		}
+		targets[i] = int64(math.Ceil(q * float64(n)))
+	}
+	var seen int64
+	next := 0
+	for i := 0; i < HistogramBuckets && next < len(qs); i++ {
+		seen += h.buckets[i].Load()
+		for next < len(qs) && seen >= targets[next] {
+			out[next] = BucketUpper(i)
+			next++
+		}
+	}
+	for ; next < len(qs); next++ {
+		out[next] = BucketUpper(HistogramBuckets - 1)
+	}
+	return out
+}
+
 // Registry names and owns a set of metrics. Lookup takes a mutex but is
 // meant to happen once per instrument site (resolve the handle, then
 // update through atomics); the update path never locks.
