@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline
+.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline benchkern baseline-kern
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,11 @@ test:
 
 # The runtime (incl. fault injection and nonblocking requests), the
 # TSQR/FT-TSQR paths, the lookahead ScaLAPACK variant, the lock-free
-# telemetry registry and the concurrent job scheduler must be
-# race-clean; short mode keeps this fast enough for every commit.
+# telemetry registry, the concurrent job scheduler and the packed GEMM
+# engine's worker pool must be race-clean; short mode keeps this fast
+# enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched ./internal/blas
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,22 @@ baseline:
 fuzz:
 	$(GO) test -fuzz=FuzzHouseholderQR -fuzztime=15s ./internal/lapack
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=15s ./internal/sched
+	$(GO) test -fuzz=FuzzDgemm -fuzztime=15s ./internal/blas
+	$(GO) test -fuzz=FuzzDtrsm -fuzztime=15s ./internal/blas
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Wall-clock kernel gate: re-time the BLAS/LAPACK kernel set at a pinned
+# GOMAXPROCS and fail only on a >30% slowdown against the committed
+# results/KERNBENCH.json — loose enough for runner noise, tight enough
+# to catch a fall off the packed-GEMM fast path.
+KERNBASE ?= results/KERNBENCH.json
+
+benchkern:
+	$(GO) run ./cmd/kernbench -procs 1 -baseline $(KERNBASE)
+
+# Refresh the committed kernel baseline after an intentional kernel
+# change (run on a quiet machine).
+baseline-kern:
+	$(GO) run ./cmd/kernbench -procs 1 -json $(KERNBASE)

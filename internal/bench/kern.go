@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"testing"
+
+	"gridqr/internal/blas"
+	"gridqr/internal/flops"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+)
+
+// Wall-clock kernel benchmarks and their CI regression gate. Unlike the
+// simulated gridbench numbers (exact, machine-independent, gated by
+// CompareReports), these measure the real BLAS/LAPACK kernels on the
+// runner, so the gate is deliberately loose: it fails only when a kernel
+// gets more than ~30% slower than the committed results/KERNBENCH.json —
+// enough slack for runner noise, tight enough to catch an accidental
+// fall off the packed GEMM fast path.
+
+// KernResult is one kernel benchmark measurement.
+type KernResult struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Gflops  float64 `json:"gflops"` // 0 when no flop count applies
+}
+
+// KernReport is the JSON document committed as results/KERNBENCH.json.
+type KernReport struct {
+	Procs   int          `json:"procs"` // GOMAXPROCS the numbers were taken at
+	Results []KernResult `json:"results"`
+}
+
+// kernCase is one entry of the standard kernel set: a name, a flop count
+// for the Gflop/s column, and a body run b.N times by testing.Benchmark.
+type kernCase struct {
+	name  string
+	flops float64
+	run   func(b *testing.B)
+}
+
+// kernSet builds the standard kernel benchmarks: the square and
+// tall-skinny GEMM shapes the factorizations spend their time in, the
+// triangular solve, and the blocked Householder panel factorization.
+func kernSet() []kernCase {
+	var cases []kernCase
+
+	for _, n := range []int{256, 512} {
+		n := n
+		a := matrix.Random(n, n, 1)
+		b2 := matrix.Random(n, n, 2)
+		c := matrix.New(n, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dgemm_%d", n),
+			flops: flops.GEMM(n, n, n),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					blas.Dgemm(blas.NoTrans, blas.NoTrans, 1, a, b2, 0, c)
+				}
+			},
+		})
+	}
+
+	{
+		m, n := 16384, 64
+		a := matrix.Random(m, n, 3)
+		b2 := matrix.Random(n, n, 4)
+		c := matrix.New(m, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dgemm_tall_%dx%d", m, n),
+			flops: flops.GEMM(m, n, n),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					blas.Dgemm(blas.NoTrans, blas.NoTrans, 1, a, b2, 0, c)
+				}
+			},
+		})
+	}
+
+	{
+		n, m := 64, 1024
+		u := matrix.Random(n, n, 5)
+		for i := 0; i < n; i++ {
+			u.Set(i, i, float64(n)+u.At(i, i))
+		}
+		rhs := matrix.Random(m, n, 6)
+		work := matrix.New(m, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dtrsm_right_%dx%d", m, n),
+			flops: flops.TRSM(n, m, false),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					matrix.Copy(work, rhs)
+					blas.Dtrsm(blas.Right, blas.NoTrans, false, 1, u, work)
+				}
+			},
+		})
+	}
+
+	{
+		m, n, nb := 4096, 64, 32
+		a := matrix.Random(m, n, 7)
+		work := matrix.New(m, n)
+		tau := make([]float64, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dgeqrf_%dx%d", m, n),
+			flops: flops.GEQRF(m, n),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					matrix.Copy(work, a)
+					lapack.Dgeqrf(work, tau, nb)
+				}
+			},
+		})
+	}
+
+	return cases
+}
+
+// RunKernBench measures the standard kernel set with the testing
+// package's benchmark harness (which picks b.N for stable timings) and
+// returns one result per kernel.
+func RunKernBench() []KernResult {
+	cases := kernSet()
+	results := make([]KernResult, 0, len(cases))
+	for _, kc := range cases {
+		r := testing.Benchmark(kc.run)
+		ns := float64(r.NsPerOp())
+		res := KernResult{Name: kc.name, NsPerOp: ns}
+		if kc.flops > 0 && ns > 0 {
+			res.Gflops = kc.flops / ns
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// ReadKernReport parses a committed kernel baseline.
+func ReadKernReport(r io.Reader) (KernReport, error) {
+	var rep KernReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return KernReport{}, fmt.Errorf("bench: bad kernel baseline: %w", err)
+	}
+	return rep, nil
+}
+
+// CompareKern diffs measured kernel timings against the committed
+// baseline: a kernel fails only when it is slower than baseline by more
+// than the relative tolerance (faster is always fine, and baseline
+// entries missing from the measurement fail — a silently dropped kernel
+// must not pass). Extra measured kernels are allowed so new entries can
+// land before the baseline is regenerated.
+func CompareKern(got []KernResult, want KernReport, tol float64) []string {
+	byName := make(map[string]KernResult, len(got))
+	for _, r := range got {
+		byName[r.Name] = r
+	}
+	var diffs []string
+	for _, w := range want.Results {
+		g, ok := byName[w.Name]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", w.Name))
+			continue
+		}
+		if limit := w.NsPerOp * (1 + tol); g.NsPerOp > limit {
+			diffs = append(diffs, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (>%.0f%% regression)",
+				w.Name, g.NsPerOp, w.NsPerOp, tol*100))
+		}
+	}
+	return diffs
+}

@@ -42,7 +42,7 @@ func BenchmarkDgemv(b *testing.B) {
 }
 
 func BenchmarkDgemm(b *testing.B) {
-	for _, n := range []int{64, 256} {
+	for _, n := range []int{64, 256, 512, 1024} {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
 			x := matrix.Random(n, n, 1)
 			y := matrix.Random(n, n, 2)

@@ -1,0 +1,113 @@
+package blas
+
+import (
+	"gridqr/internal/matrix"
+	"gridqr/internal/telemetry"
+)
+
+// gemmPackMinMK is the m·k panel size at which Dgemm switches from the
+// sweep kernel to the packed engine: below it the O(mk+kn) packing
+// copies cost more than they save. The criterion is deliberately a
+// function of m and k only — never n — so that processing a wide update
+// in column chunks (the ScaLAPACK lookahead drain, Dlarfb panels) picks
+// the same kernel, and therefore bitwise the same column values, as one
+// wide call. It is computed in float64 because m·k overflows int32 at
+// sizes the 32-bit CI cross-build must still handle. A var, not a
+// const, so the tuning sweep and the table tests can force either path.
+var gemmPackMinMK float64 = 1 << 12
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C. Small products run on a
+// serial column-sweep kernel; everything else goes through the packed,
+// cache-blocked engine (engine.go), which parallelizes over macro-tiles
+// on a persistent worker pool. Output is bitwise deterministic for a
+// given shape and tuning, independent of the worker count.
+func Dgemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	m, ka := opShape(ta, a)
+	kb, n := opShape(tb, b)
+	if ka != kb || c.Rows != m || c.Cols != n {
+		panic("blas: Dgemm shape mismatch")
+	}
+	defer telemetry.TimeKernel("dgemm", 2*float64(m)*float64(n)*float64(ka))()
+	gemm(ta, tb, alpha, a, b, beta, c)
+}
+
+// gemm is the uninstrumented entry point the level-3 blocked routines
+// (Dtrmm/Dtrsm/Dsyrk) delegate their square updates to: they account
+// their own exact flop totals, so routing through Dgemm would double
+// count.
+func gemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	m, n := c.Rows, c.Cols
+	_, k := opShape(ta, a)
+	if m == 0 || n == 0 {
+		return
+	}
+	if m >= mr && float64(m)*float64(k) >= gemmPackMinMK {
+		gemmPacked(ta, tb, alpha, a, b, beta, c)
+		return
+	}
+	gemmSmall(ta, tb, alpha, a, b, beta, c, 0, n)
+}
+
+// gemmSmall computes columns [j0, j1) of C with the column-sweep kernel:
+// no packing, each case organized so the innermost loop runs down
+// contiguous columns. It remains the best choice for skinny/tiny
+// products and is the serial base the packed engine is verified against.
+func gemmSmall(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, j0, j1 int) {
+	k, _ := opShape(tb, b)
+	for j := j0; j < j1; j++ {
+		cj := c.Col(j)
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			Dscal(beta, cj)
+		}
+		switch {
+		case ta == NoTrans && tb == NoTrans:
+			bj := b.Col(j)
+			for l := 0; l < k; l++ {
+				f := alpha * bj[l]
+				if f == 0 {
+					continue
+				}
+				al := a.Col(l)
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		case ta == NoTrans && tb == Trans:
+			for l := 0; l < k; l++ {
+				f := alpha * b.At(j, l)
+				if f == 0 {
+					continue
+				}
+				al := a.Col(l)
+				for i := range cj {
+					cj[i] += f * al[i]
+				}
+			}
+		case ta == Trans && tb == NoTrans:
+			bj := b.Col(j)
+			for i := range cj {
+				cj[i] += alpha * Ddot(a.Col(i), bj)
+			}
+		default: // Trans, Trans
+			for i := range cj {
+				ai := a.Col(i)
+				var s float64
+				for l := 0; l < k; l++ {
+					s += ai[l] * b.At(j, l)
+				}
+				cj[i] += alpha * s
+			}
+		}
+	}
+}
+
+func opShape(t Transpose, a *matrix.Dense) (rows, cols int) {
+	if t == NoTrans {
+		return a.Rows, a.Cols
+	}
+	return a.Cols, a.Rows
+}

@@ -1,0 +1,18 @@
+//go:build amd64
+
+package blas
+
+// haveAsmKernel reports whether the AVX2+FMA micro-kernel can run:
+// CPUID must advertise FMA, AVX and AVX2, and the OS must have enabled
+// xmm+ymm state saving (OSXSAVE + XCR0). Checked once at package init.
+func haveAsmKernel() bool { return cpuKernelSupported() }
+
+// cpuKernelSupported is implemented in kernel_amd64.s.
+func cpuKernelSupported() bool
+
+// microKernelAsm accumulates acc[j*mr+i] = Σ_p ap[p*mr+i]·bp[p*nr+j]
+// over kc steps of the packed strips, using four ymm accumulators (one
+// per C column) and fused multiply-adds. Implemented in kernel_amd64.s.
+//
+//go:noescape
+func microKernelAsm(kc int, ap, bp *float64, acc *[mr * nr]float64)

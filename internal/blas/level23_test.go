@@ -9,33 +9,6 @@ import (
 	"gridqr/internal/matrix"
 )
 
-// naiveGemm is the reference implementation every optimized path is
-// checked against.
-func naiveGemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
-	m, k := opShape(ta, a)
-	_, n := opShape(tb, b)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			var s float64
-			for l := 0; l < k; l++ {
-				var av, bv float64
-				if ta == Trans {
-					av = a.At(l, i)
-				} else {
-					av = a.At(i, l)
-				}
-				if tb == Trans {
-					bv = b.At(j, l)
-				} else {
-					bv = b.At(l, j)
-				}
-				s += av * bv
-			}
-			c.Set(i, j, alpha*s+beta*c.At(i, j))
-		}
-	}
-}
-
 func TestDgemvNoTrans(t *testing.T) {
 	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	y := []float64{1, 1, 1}
@@ -99,7 +72,7 @@ func TestDgemmAllTransCombos(t *testing.T) {
 			c := matrix.Random(m, n, 3)
 			want := c.Clone()
 			Dgemm(ta, tb, 1.5, a, b, 0.5, c)
-			naiveGemm(ta, tb, 1.5, a, b, 0.5, want)
+			gemmRef(ta, tb, 1.5, a, b, 0.5, want)
 			if !matrix.Equal(c, want, 1e-12) {
 				t.Fatalf("Dgemm ta=%v tb=%v mismatch", ta, tb)
 			}
@@ -116,7 +89,7 @@ func TestDgemmParallelPathMatchesSerial(t *testing.T) {
 	c1 := matrix.New(m, n)
 	c2 := matrix.New(m, n)
 	Dgemm(NoTrans, NoTrans, 1, a, b, 0, c1)
-	gemmCols(NoTrans, NoTrans, 1, a, b, 0, c2, 0, n)
+	gemmSmall(NoTrans, NoTrans, 1, a, b, 0, c2, 0, n)
 	if !matrix.Equal(c1, c2, 1e-12) {
 		t.Fatal("parallel Dgemm differs from serial")
 	}
@@ -140,7 +113,7 @@ func TestDgemmOnViews(t *testing.T) {
 	c := matrix.New(4, 2)
 	want := matrix.New(4, 2)
 	Dgemm(NoTrans, NoTrans, 1, a, b, 0, c)
-	naiveGemm(NoTrans, NoTrans, 1, a, b, 0, want)
+	gemmRef(NoTrans, NoTrans, 1, a, b, 0, want)
 	if !matrix.Equal(c, want, 1e-13) {
 		t.Fatal("Dgemm wrong on strided views")
 	}
@@ -161,7 +134,7 @@ func TestDtrmmLeft(t *testing.T) {
 				tm.Set(1, 1, 1)
 			}
 			want := matrix.New(2, 3)
-			naiveGemm(trans, NoTrans, 1.5, tm, b, 0, want)
+			gemmRef(trans, NoTrans, 1.5, tm, b, 0, want)
 			if !matrix.Equal(got, want, 1e-13) {
 				t.Fatalf("Dtrmm Left trans=%v unit=%v: got %v want %v", trans, unit, got, want)
 			}
@@ -183,7 +156,7 @@ func TestDtrmmRight(t *testing.T) {
 				}
 			}
 			want := matrix.New(2, 3)
-			naiveGemm(NoTrans, trans, 2, b, tm, 0, want)
+			gemmRef(NoTrans, trans, 2, b, tm, 0, want)
 			if !matrix.Equal(got, want, 1e-13) {
 				t.Fatalf("Dtrmm Right trans=%v unit=%v mismatch", trans, unit)
 			}
@@ -227,7 +200,7 @@ func TestDsyrk(t *testing.T) {
 	c := matrix.New(3, 3)
 	Dsyrk(Trans, 1, a, 0, c)
 	want := matrix.New(3, 3)
-	naiveGemm(Trans, NoTrans, 1, a, a, 0, want)
+	gemmRef(Trans, NoTrans, 1, a, a, 0, want)
 	for j := 0; j < 3; j++ {
 		for i := 0; i <= j; i++ {
 			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-13 {
@@ -246,7 +219,7 @@ func TestDsyrkNoTrans(t *testing.T) {
 	c := matrix.New(3, 3)
 	Dsyrk(NoTrans, 2, a, 0, c)
 	want := matrix.New(3, 3)
-	naiveGemm(NoTrans, Trans, 2, a, a, 0, want)
+	gemmRef(NoTrans, Trans, 2, a, a, 0, want)
 	for j := 0; j < 3; j++ {
 		for i := 0; i <= j; i++ {
 			if math.Abs(c.At(i, j)-want.At(i, j)) > 1e-12 {
@@ -309,7 +282,7 @@ func TestDgemmParallelAllBranches(t *testing.T) {
 			got := matrix.New(m, n)
 			want := matrix.New(m, n)
 			Dgemm(ta, tb, 1, a, b, 0, got)
-			gemmCols(ta, tb, 1, a, b, 0, want, 0, n)
+			gemmSmall(ta, tb, 1, a, b, 0, want, 0, n)
 			if !matrix.Equal(got, want, 1e-11) {
 				t.Fatalf("parallel Dgemm ta=%v tb=%v differs", ta, tb)
 			}
@@ -324,7 +297,7 @@ func TestDgemmSingleColumnStaysSerial(t *testing.T) {
 	c := matrix.New(2048, 1)
 	want := matrix.New(2048, 1)
 	Dgemm(NoTrans, NoTrans, 1, a, b, 0, c)
-	gemmCols(NoTrans, NoTrans, 1, a, b, 0, want, 0, 1)
+	gemmSmall(NoTrans, NoTrans, 1, a, b, 0, want, 0, 1)
 	if !matrix.Equal(c, want, 1e-10) {
 		t.Fatal("single-column product wrong")
 	}
@@ -357,7 +330,7 @@ func TestDgemmManyWorkersFewColumns(t *testing.T) {
 	got := matrix.New(m, n)
 	want := matrix.New(m, n)
 	Dgemm(NoTrans, NoTrans, 2, a, b, 0, got)
-	gemmCols(NoTrans, NoTrans, 2, a, b, 0, want, 0, n)
+	gemmSmall(NoTrans, NoTrans, 2, a, b, 0, want, 0, n)
 	if !matrix.Equal(got, want, 1e-10) {
 		t.Fatal("clamped-worker product wrong")
 	}

@@ -1,17 +1,10 @@
 package blas
 
 import (
-	"runtime"
-	"sync"
-
+	"gridqr/internal/flops"
 	"gridqr/internal/matrix"
 	"gridqr/internal/telemetry"
 )
-
-// gemmParallelThreshold is the flop count below which Dgemm stays
-// single-threaded; spawning goroutines for tiny products costs more than
-// it saves.
-const gemmParallelThreshold = 1 << 20
 
 // Side selects whether the triangular/orthogonal operand multiplies from
 // the left or the right in Dtrmm/Dtrsm.
@@ -22,102 +15,12 @@ const (
 	Right Side = true
 )
 
-// Dgemm computes C = alpha*op(A)*op(B) + beta*C. Large products are split
-// column-wise across GOMAXPROCS goroutines; small ones run inline.
-func Dgemm(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
-	m, ka := opShape(ta, a)
-	kb, n := opShape(tb, b)
-	if ka != kb || c.Rows != m || c.Cols != n {
-		panic("blas: Dgemm shape mismatch")
-	}
-	k := ka
-	defer telemetry.TimeKernel("dgemm", 2*float64(m)*float64(n)*float64(k))()
-	workers := runtime.GOMAXPROCS(0)
-	if 2*m*n*k < gemmParallelThreshold || workers < 2 || n < 2 {
-		gemmCols(ta, tb, alpha, a, b, beta, c, 0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		j0 := w * chunk
-		j1 := min(j0+chunk, n)
-		if j0 >= j1 {
-			break
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			gemmCols(ta, tb, alpha, a, b, beta, c, j0, j1)
-		}()
-	}
-	wg.Wait()
-}
-
-func opShape(t Transpose, a *matrix.Dense) (rows, cols int) {
-	if t == NoTrans {
-		return a.Rows, a.Cols
-	}
-	return a.Cols, a.Rows
-}
-
-// gemmCols computes columns [j0, j1) of C. Each case is organized so the
-// innermost loop runs down contiguous columns.
-func gemmCols(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, j0, j1 int) {
-	k, _ := opShape(tb, b)
-	for j := j0; j < j1; j++ {
-		cj := c.Col(j)
-		if beta == 0 {
-			for i := range cj {
-				cj[i] = 0
-			}
-		} else if beta != 1 {
-			Dscal(beta, cj)
-		}
-		switch {
-		case ta == NoTrans && tb == NoTrans:
-			bj := b.Col(j)
-			for l := 0; l < k; l++ {
-				f := alpha * bj[l]
-				if f == 0 {
-					continue
-				}
-				al := a.Col(l)
-				for i := range cj {
-					cj[i] += f * al[i]
-				}
-			}
-		case ta == NoTrans && tb == Trans:
-			for l := 0; l < k; l++ {
-				f := alpha * b.At(j, l)
-				if f == 0 {
-					continue
-				}
-				al := a.Col(l)
-				for i := range cj {
-					cj[i] += f * al[i]
-				}
-			}
-		case ta == Trans && tb == NoTrans:
-			bj := b.Col(j)
-			for i := range cj {
-				cj[i] += alpha * Ddot(a.Col(i), bj)
-			}
-		default: // Trans, Trans
-			for i := range cj {
-				ai := a.Col(i)
-				var s float64
-				for l := 0; l < k; l++ {
-					s += ai[l] * b.At(j, l)
-				}
-				cj[i] += alpha * s
-			}
-		}
-	}
-}
+// triBlock is the order below which the blocked triangular routines
+// (Dtrmm/Dtrsm) and Dsyrk's diagonal blocks run their substitution/sweep
+// base cases directly. Above it they split the triangle and push the
+// square off-diagonal work into the packed GEMM engine, which is where
+// the O(n²·cols) bulk of the flops then executes at BLAS-3 rates.
+const triBlock = 64
 
 // Dtrmm computes B = alpha*op(T)*B (side Left) or B = alpha*B*op(T) (side
 // Right), where T is upper triangular, optionally unit-diagonal, stored in
@@ -127,11 +30,72 @@ func Dtrmm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 	if t.Cols != n {
 		panic("blas: Dtrmm triangular operand not square")
 	}
-	defer telemetry.TimeKernel("dtrmm", float64(n)*float64(b.Rows)*float64(b.Cols))()
+	other := b.Cols
 	if side == Left {
 		if b.Rows != n {
 			panic("blas: Dtrmm shape mismatch")
 		}
+	} else {
+		if b.Cols != n {
+			panic("blas: Dtrmm shape mismatch")
+		}
+		other = b.Rows
+	}
+	defer telemetry.TimeKernel("dtrmm", flops.TRMM(n, other, unit))()
+	trmm(side, trans, unit, alpha, t, b)
+}
+
+// trmm is the recursive, uninstrumented body of Dtrmm: split T into
+// [T11 T12; 0 T22], run the halves in the order that lets B update in
+// place, and hand the rectangular T12 coupling to the packed engine.
+func trmm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if n <= triBlock {
+		trmmBase(side, trans, unit, alpha, t, b)
+		return
+	}
+	h := n / 2
+	t11 := t.View(0, 0, h, h)
+	t12 := t.View(0, h, h, n-h)
+	t22 := t.View(h, h, n-h, n-h)
+	if side == Left {
+		b1 := b.View(0, 0, h, b.Cols)
+		b2 := b.View(h, 0, n-h, b.Cols)
+		if trans == NoTrans {
+			// B1 ← alpha(T11·B1 + T12·B2) needs the old B2: top first.
+			trmm(side, trans, unit, alpha, t11, b1)
+			gemm(NoTrans, NoTrans, alpha, t12, b2, 1, b1)
+			trmm(side, trans, unit, alpha, t22, b2)
+			return
+		}
+		// op(T) = [T11ᵀ 0; T12ᵀ T22ᵀ]: B2 ← alpha(T12ᵀ·B1 + T22ᵀ·B2)
+		// needs the old B1: bottom first.
+		trmm(side, trans, unit, alpha, t22, b2)
+		gemm(Trans, NoTrans, alpha, t12, b1, 1, b2)
+		trmm(side, trans, unit, alpha, t11, b1)
+		return
+	}
+	b1 := b.View(0, 0, b.Rows, h)
+	b2 := b.View(0, h, b.Rows, n-h)
+	if trans == NoTrans {
+		// B2 ← alpha(B1·T12 + B2·T22) needs the old B1: right first.
+		trmm(side, trans, unit, alpha, t22, b2)
+		gemm(NoTrans, NoTrans, alpha, b1, t12, 1, b2)
+		trmm(side, trans, unit, alpha, t11, b1)
+		return
+	}
+	// B·op(T) with op(T) = [T11ᵀ 0; T12ᵀ T22ᵀ]:
+	// B1 ← alpha(B1·T11ᵀ + B2·T12ᵀ) needs the old B2: left first.
+	trmm(side, trans, unit, alpha, t11, b1)
+	gemm(NoTrans, Trans, alpha, b2, t12, 1, b1)
+	trmm(side, trans, unit, alpha, t22, b2)
+}
+
+// trmmBase is the unblocked triangular multiply, organized so the
+// innermost loops run down contiguous columns where the storage allows.
+func trmmBase(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if side == Left {
 		for j := 0; j < b.Cols; j++ {
 			col := b.Col(j)
 			if trans == NoTrans {
@@ -163,9 +127,6 @@ func Dtrmm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 			}
 		}
 		return
-	}
-	if b.Cols != n {
-		panic("blas: Dtrmm shape mismatch")
 	}
 	// B = alpha * B * op(T): process columns in an order that lets us
 	// update in place.
@@ -222,11 +183,69 @@ func Dtrsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 	if t.Cols != n {
 		panic("blas: Dtrsm triangular operand not square")
 	}
-	defer telemetry.TimeKernel("dtrsm", float64(n)*float64(b.Rows)*float64(b.Cols))()
+	other := b.Cols
 	if side == Left {
 		if b.Rows != n {
 			panic("blas: Dtrsm shape mismatch")
 		}
+	} else {
+		if b.Cols != n {
+			panic("blas: Dtrsm shape mismatch")
+		}
+		other = b.Rows
+	}
+	defer telemetry.TimeKernel("dtrsm", flops.TRSM(n, other, unit))()
+	trsm(side, trans, unit, alpha, t, b)
+}
+
+// trsm is the recursive, uninstrumented body of Dtrsm: solve one half,
+// eliminate its contribution from the other half with one packed GEMM
+// (which also folds in the alpha scaling via beta), and recurse.
+func trsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if n <= triBlock {
+		trsmBase(side, trans, unit, alpha, t, b)
+		return
+	}
+	h := n / 2
+	t11 := t.View(0, 0, h, h)
+	t12 := t.View(0, h, h, n-h)
+	t22 := t.View(h, h, n-h, n-h)
+	if side == Left {
+		b1 := b.View(0, 0, h, b.Cols)
+		b2 := b.View(h, 0, n-h, b.Cols)
+		if trans == NoTrans {
+			// Back substitution: X2 first, then B1 ← alpha·B1 − T12·X2.
+			trsm(side, trans, unit, alpha, t22, b2)
+			gemm(NoTrans, NoTrans, -1, t12, b2, alpha, b1)
+			trsm(side, trans, unit, 1, t11, b1)
+			return
+		}
+		// op(T) = [T11ᵀ 0; T12ᵀ T22ᵀ]: forward, X1 first.
+		trsm(side, trans, unit, alpha, t11, b1)
+		gemm(Trans, NoTrans, -1, t12, b1, alpha, b2)
+		trsm(side, trans, unit, 1, t22, b2)
+		return
+	}
+	b1 := b.View(0, 0, b.Rows, h)
+	b2 := b.View(0, h, b.Rows, n-h)
+	if trans == NoTrans {
+		// X·T = alpha·B: left to right, X1 first.
+		trsm(side, trans, unit, alpha, t11, b1)
+		gemm(NoTrans, NoTrans, -1, b1, t12, alpha, b2)
+		trsm(side, trans, unit, 1, t22, b2)
+		return
+	}
+	// X·op(T) with op(T) = [T11ᵀ 0; T12ᵀ T22ᵀ]: right to left, X2 first.
+	trsm(side, trans, unit, alpha, t22, b2)
+	gemm(NoTrans, Trans, -1, b2, t12, alpha, b1)
+	trsm(side, trans, unit, 1, t11, b1)
+}
+
+// trsmBase is the unblocked triangular solve by substitution.
+func trsmBase(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if side == Left {
 		for j := 0; j < b.Cols; j++ {
 			col := b.Col(j)
 			if alpha != 1 {
@@ -257,9 +276,6 @@ func Dtrsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 			}
 		}
 		return
-	}
-	if b.Cols != n {
-		panic("blas: Dtrsm shape mismatch")
 	}
 	if alpha != 1 {
 		for j := 0; j < n; j++ {
@@ -307,7 +323,11 @@ func Dtrsm(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.De
 
 // Dsyrk computes the upper triangle of C = alpha*opᵀ(A)*op(A) + beta*C
 // with op selected so the result is C += alpha*AᵀA (trans=Trans) or
-// C += alpha*AAᵀ (trans=NoTrans). Only the upper triangle of C is touched.
+// C += alpha*AAᵀ (trans=NoTrans). Only the upper triangle of C is
+// touched. Off-diagonal blocks are rank-k GEMM updates through the
+// packed engine; diagonal blocks run a small symmetric sweep with the
+// contraction as the outer loop, so every inner access is down a
+// contiguous column in both transpose cases.
 func Dsyrk(trans Transpose, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense) {
 	var n int
 	if trans == Trans {
@@ -319,18 +339,64 @@ func Dsyrk(trans Transpose, alpha float64, a *matrix.Dense, beta float64, c *mat
 		panic("blas: Dsyrk shape mismatch")
 	}
 	k := a.Rows + a.Cols - n // the contracted dimension, whichever op
-	defer telemetry.TimeKernel("dsyrk", float64(n)*float64(n+1)*float64(k))()
-	for j := 0; j < n; j++ {
-		for i := 0; i <= j; i++ {
-			var s float64
+	defer telemetry.TimeKernel("dsyrk", flops.SYRK(n, k))()
+	for j0 := 0; j0 < n; j0 += triBlock {
+		jb := min(triBlock, n-j0)
+		if j0 > 0 {
+			// Strictly-upper block C[0:j0, j0:j0+jb]: a plain GEMM.
+			cb := c.View(0, j0, j0, jb)
 			if trans == Trans {
-				s = Ddot(a.Col(i), a.Col(j))
+				gemm(Trans, NoTrans, alpha, a.View(0, 0, k, j0), a.View(0, j0, k, jb), beta, cb)
 			} else {
-				for l := 0; l < a.Cols; l++ {
-					s += a.At(i, l) * a.At(j, l)
-				}
+				gemm(NoTrans, Trans, alpha, a.View(0, 0, j0, k), a.View(j0, 0, jb, k), beta, cb)
 			}
-			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+		syrkDiag(trans, alpha, a, beta, c, j0, jb, k)
+	}
+}
+
+// syrkDiag updates the upper triangle of the jb×jb diagonal block of C
+// at (j0, j0).
+func syrkDiag(trans Transpose, alpha float64, a *matrix.Dense, beta float64, c *matrix.Dense, j0, jb, k int) {
+	// Apply beta once, then accumulate rank-1 terms with the contracted
+	// index outermost: col is a contiguous slice in both cases.
+	for j := 0; j < jb; j++ {
+		cj := c.Col(j0 + j)[j0 : j0+j+1]
+		if beta == 0 {
+			for i := range cj {
+				cj[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range cj {
+				cj[i] *= beta
+			}
+		}
+	}
+	if trans == Trans {
+		// C += alpha·AᵀA on the block: columns of A are contiguous.
+		for j := 0; j < jb; j++ {
+			aj := a.Col(j0 + j)
+			cj := c.Col(j0 + j)[j0:]
+			for i := 0; i <= j; i++ {
+				cj[i] += alpha * Ddot(a.Col(j0+i), aj)
+			}
+		}
+		return
+	}
+	// C += alpha·AAᵀ on the block: iterate the contraction l outermost so
+	// each step reads one contiguous column segment of A, replacing the
+	// old row-major At(i, l) traversal that was quadratic in cache misses.
+	for l := 0; l < k; l++ {
+		col := a.Col(l)[j0 : j0+jb]
+		for j := 0; j < jb; j++ {
+			f := alpha * col[j]
+			if f == 0 {
+				continue
+			}
+			cj := c.Col(j0 + j)[j0:]
+			for i := 0; i <= j; i++ {
+				cj[i] += f * col[i]
+			}
 		}
 	}
 }

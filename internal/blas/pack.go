@@ -1,0 +1,118 @@
+package blas
+
+import (
+	"sync"
+
+	"gridqr/internal/matrix"
+)
+
+// Packing: the four transpose cases of Dgemm funnel into one inner
+// kernel by copying panels of op(A) and op(B) into contiguous,
+// micro-kernel-ordered buffers first. Ragged edges are zero-padded to a
+// full mr (resp. nr) strip, so the micro-kernel never branches on a
+// partial tile — only the copy-out into C is bounded.
+//
+// Layouts (all offsets in float64 elements):
+//
+//	packed A: ceil(mc/mr) strips, strip s at offset s·mr·kc, holding
+//	  op(A)[i0+s·mr+r, p0+p] at strip[p·mr+r]  (p-major, r fastest)
+//	packed B: ceil(nc/nr) strips, strip t at offset t·nr·kc, holding
+//	  op(B)[p0+p, j0+t·nr+q] at strip[p·nr+q]  (p-major, q fastest)
+//
+// so one micro-kernel step reads mr contiguous A elements and nr
+// contiguous B elements and advances both by their strip width.
+
+// packPool recycles the packed-panel buffers. Contents are undefined on
+// Get; the packers overwrite every element of the region they hand to
+// the macro-kernel, padding included.
+var packPool = sync.Pool{
+	New: func() any {
+		b := make([]float64, 0, 1<<14)
+		return &b
+	},
+}
+
+func getPack(n int) *[]float64 {
+	bp := packPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putPack(bp *[]float64) { packPool.Put(bp) }
+
+// packA copies the mc×kc panel of op(A) with top-left corner (i0, p0)
+// — coordinates in op(A), i.e. rows of the product — into dst.
+func packA(ta Transpose, a *matrix.Dense, i0, p0, mc, kc int, dst []float64) {
+	for s := 0; s*mr < mc; s++ {
+		strip := dst[s*mr*kc : (s+1)*mr*kc]
+		rows := min(mr, mc-s*mr)
+		if ta == NoTrans {
+			// op(A)[i, p] = a[i, p]: each p reads mr consecutive
+			// elements of column p0+p.
+			for p := 0; p < kc; p++ {
+				col := a.Col(p0 + p)[i0+s*mr:]
+				d := strip[p*mr : p*mr+mr]
+				for r := 0; r < rows; r++ {
+					d[r] = col[r]
+				}
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+			continue
+		}
+		// op(A)[i, p] = a[p, i]: row i of op(A) is column i of a,
+		// contiguous over p — read columns, write with stride mr.
+		for r := 0; r < rows; r++ {
+			col := a.Col(i0 + s*mr + r)[p0:]
+			for p := 0; p < kc; p++ {
+				strip[p*mr+r] = col[p]
+			}
+		}
+		for r := rows; r < mr; r++ {
+			for p := 0; p < kc; p++ {
+				strip[p*mr+r] = 0
+			}
+		}
+	}
+}
+
+// packB copies the kc×nc panel of op(B) with top-left corner (p0, j0)
+// — coordinates in op(B), i.e. columns of the product — into dst.
+func packB(tb Transpose, b *matrix.Dense, p0, j0, kc, nc int, dst []float64) {
+	for t := 0; t*nr < nc; t++ {
+		strip := dst[t*nr*kc : (t+1)*nr*kc]
+		cols := min(nr, nc-t*nr)
+		if tb == NoTrans {
+			// op(B)[p, j] = b[p, j]: column j of b is contiguous over
+			// p — read columns, write with stride nr.
+			for q := 0; q < cols; q++ {
+				col := b.Col(j0 + t*nr + q)[p0:]
+				for p := 0; p < kc; p++ {
+					strip[p*nr+q] = col[p]
+				}
+			}
+			for q := cols; q < nr; q++ {
+				for p := 0; p < kc; p++ {
+					strip[p*nr+q] = 0
+				}
+			}
+			continue
+		}
+		// op(B)[p, j] = b[j, p]: each p reads nr consecutive elements
+		// of column p0+p.
+		for p := 0; p < kc; p++ {
+			col := b.Col(p0 + p)[j0+t*nr:]
+			d := strip[p*nr : p*nr+nr]
+			for q := 0; q < cols; q++ {
+				d[q] = col[q]
+			}
+			for q := cols; q < nr; q++ {
+				d[q] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package blas
+
+import "gridqr/internal/matrix"
+
+// Reference kernels: textbook triple loops with no blocking, packing or
+// reordering. They are deliberately kept in the shipped package (not a
+// _test file) as the ground truth the packed engine is differentially
+// fuzzed against (FuzzDgemm/FuzzDtrsm) and as executable documentation
+// of the operations' definitions. They are never on a hot path.
+
+// gemmRef computes C = alpha*op(A)*op(B) + beta*C one dot product at a
+// time, in the order of the mathematical definition.
+func gemmRef(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense) {
+	m, k := opShape(ta, a)
+	_, n := opShape(tb, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				var av, bv float64
+				if ta == Trans {
+					av = a.At(l, i)
+				} else {
+					av = a.At(i, l)
+				}
+				if tb == Trans {
+					bv = b.At(j, l)
+				} else {
+					bv = b.At(l, j)
+				}
+				s += av * bv
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+// trsmRef solves op(T)·X = alpha·B (Left) or X·op(T) = alpha·B (Right)
+// by forward/back substitution, element by element. T is upper
+// triangular, optionally unit-diagonal; B is overwritten with X.
+func trsmRef(side Side, trans Transpose, unit bool, alpha float64, t, b *matrix.Dense) {
+	n := t.Rows
+	if side == Left {
+		for j := 0; j < b.Cols; j++ {
+			for i := 0; i < n; i++ {
+				b.Set(i, j, alpha*b.At(i, j))
+			}
+			if trans == NoTrans {
+				for i := n - 1; i >= 0; i-- {
+					s := b.At(i, j)
+					for l := i + 1; l < n; l++ {
+						s -= t.At(i, l) * b.At(l, j)
+					}
+					if !unit {
+						s /= t.At(i, i)
+					}
+					b.Set(i, j, s)
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					s := b.At(i, j)
+					for l := 0; l < i; l++ {
+						s -= t.At(l, i) * b.At(l, j)
+					}
+					if !unit {
+						s /= t.At(i, i)
+					}
+					b.Set(i, j, s)
+				}
+			}
+		}
+		return
+	}
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, alpha*b.At(i, j))
+		}
+		if trans == NoTrans {
+			for j := 0; j < n; j++ {
+				s := b.At(i, j)
+				for l := 0; l < j; l++ {
+					s -= b.At(i, l) * t.At(l, j)
+				}
+				if !unit {
+					s /= t.At(j, j)
+				}
+				b.Set(i, j, s)
+			}
+		} else {
+			for j := n - 1; j >= 0; j-- {
+				s := b.At(i, j)
+				for l := j + 1; l < n; l++ {
+					s -= b.At(i, l) * t.At(j, l)
+				}
+				if !unit {
+					s /= t.At(j, j)
+				}
+				b.Set(i, j, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package blas
+
+// Cache-blocking parameters of the packed GEMM engine (see engine.go for
+// the loop structure they control). The register block MR×NR is fixed at
+// compile time — the micro-kernel is fully unrolled over it — while the
+// panel sizes are variables so the tuning sweep (TestTuneSweep, run with
+// `go test -run TuneSweep -tune ./internal/blas`) and the determinism
+// tests can adjust them.
+const (
+	// mr×nr is the register block: the micro-kernel keeps an mr×nr tile
+	// of C in scalar accumulators across the whole KC-long update. 4×4
+	// (16 accumulators) is the largest tile the amd64 SSA back end keeps
+	// entirely in XMM registers; 8×4 and 4×8 spill and measure slower.
+	mr = 4
+	nr = 4
+)
+
+// TuneParams are the panel sizes of the three cache-blocking loops.
+type TuneParams struct {
+	// MC rows of packed op(A) per panel: an MC×KC panel (MC·KC·8 bytes)
+	// must stay resident in L2 while it is streamed KC elements at a
+	// time against every NR-column strip of the B panel.
+	MC int
+	// KC is the shared inner dimension of one rank-KC update: a KC×NR
+	// strip of packed op(B) (KC·NR·8 bytes) must fit comfortably in L1
+	// next to the A strip it multiplies.
+	KC int
+	// NC columns of packed op(B) per panel; bounds the packed-B buffer
+	// (KC·NC·8 bytes, L3-resident) and sets the jc macro-tile width.
+	NC int
+}
+
+// tune holds the active blocking parameters. The defaults were chosen by
+// the committed TestTuneSweep measurements on a 2.1 GHz Xeon (see
+// EXPERIMENTS.md "Local kernel engine"): MC=128/KC=256 won at every
+// square size from 256³ to 1024³, and NC only matters once n exceeds it
+// (flat between 1024 and 4096 at these shapes, so the smaller buffer
+// wins). Overridden only by tests; not safe to change while a Dgemm call
+// is in flight.
+var tune = TuneParams{MC: 128, KC: 256, NC: 2048}

@@ -1,0 +1,59 @@
+package blas
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"gridqr/internal/matrix"
+)
+
+var tuneFlag = flag.Bool("tune", false, "run the block-size tuning sweep (slow; prints a Gflop/s table)")
+
+// TestTuneSweep measures Dgemm throughput over a grid of (MC, KC, NC)
+// candidates. It is the experiment behind the committed values in
+// tune.go; run it with
+//
+//	go test -run TestTuneSweep -tune -v ./internal/blas
+//
+// after changing the micro-kernel or moving to new hardware, and commit
+// the winner with its table in the PR description.
+func TestTuneSweep(t *testing.T) {
+	if !*tuneFlag {
+		t.Skip("tuning sweep only runs with -tune")
+	}
+	defer func(p TuneParams) { tune = p }(tune)
+
+	const n = 768 // large enough that every candidate tiles all three loops
+	a := matrix.Random(n, n, 1)
+	b := matrix.Random(n, n, 2)
+	c := matrix.New(n, n)
+	fl := 2 * float64(n) * float64(n) * float64(n)
+
+	measure := func() float64 {
+		const iters = 3
+		// Warm the pool and the packed buffers once before timing.
+		Dgemm(NoTrans, NoTrans, 1, a, b, 0, c)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			Dgemm(NoTrans, NoTrans, 1, a, b, 0, c)
+		}
+		return fl * iters / time.Since(start).Seconds() / 1e9
+	}
+
+	best := TuneParams{}
+	bestG := 0.0
+	for _, mc := range []int{64, 128, 192, 256} {
+		for _, kc := range []int{128, 256, 384} {
+			for _, nc := range []int{1024, 2048, 4096} {
+				tune = TuneParams{MC: mc, KC: kc, NC: nc}
+				g := measure()
+				t.Logf("MC=%-4d KC=%-4d NC=%-5d  %6.2f Gflop/s", mc, kc, nc, g)
+				if g > bestG {
+					bestG, best = g, tune
+				}
+			}
+		}
+	}
+	t.Logf("best: MC=%d KC=%d NC=%d at %.2f Gflop/s", best.MC, best.KC, best.NC, bestG)
+}

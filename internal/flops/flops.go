@@ -65,6 +65,34 @@ func GEMM(m, n, k int) float64 {
 	return 2 * float64(m) * float64(n) * float64(k)
 }
 
+// TRMM returns the exact flop count of the triangular multiply
+// B = op(T)·B or B·op(T) with T upper triangular of order n and m the
+// other dimension of B: per vector against the triangle, n(n+1)/2
+// multiplies and n(n−1)/2 adds — n² flops — dropping the n diagonal
+// multiplies when T is unit-diagonal. The alpha scaling is excluded
+// (alpha = 1 on every hot path).
+func TRMM(n, m int, unit bool) float64 {
+	fn, fm := float64(n), float64(m)
+	if unit {
+		return fm * fn * (fn - 1)
+	}
+	return fm * fn * fn
+}
+
+// TRSM returns the exact flop count of the triangular solve
+// op(T)·X = B or X·op(T) = B: substitution costs n(n−1)/2 multiplies,
+// n(n−1)/2 subtractions and n divides per vector — the same n² total as
+// TRMM, likewise n(n−1) for unit diagonal (no divides).
+func TRSM(n, m int, unit bool) float64 {
+	return TRMM(n, m, unit)
+}
+
+// SYRK returns the flop count of the symmetric rank-k update of an
+// order-n triangle: n(n+1)/2 output elements at 2k flops each.
+func SYRK(n, k int) float64 {
+	return float64(n) * (float64(n) + 1) * float64(k)
+}
+
 // TSQRCritical returns the flop count on the critical path of TSQR over P
 // domains of an M×N matrix, R-factor only (paper Table I):
 // (2MN² − 2N³/3)/P + 2/3·log₂(P)·N³.

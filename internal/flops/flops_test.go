@@ -69,6 +69,41 @@ func TestTSQRCriticalTableI(t *testing.T) {
 	}
 }
 
+func TestTriangularCounts(t *testing.T) {
+	// TRMM against a hand count for n=3, m=2: each of the m vectors hits
+	// the triangle with n(n+1)/2 = 6 multiplies and n(n−1)/2 = 3 adds.
+	if got := TRMM(3, 2, false); got != 18 {
+		t.Fatalf("TRMM(3,2) = %g want 18", got)
+	}
+	// Unit diagonal drops the n diagonal multiplies per vector.
+	if got := TRMM(3, 2, true); got != 12 {
+		t.Fatalf("TRMM(3,2,unit) = %g want 12", got)
+	}
+	// Degenerate orders.
+	if TRMM(1, 1, false) != 1 || TRMM(1, 1, true) != 0 || TRMM(0, 5, false) != 0 {
+		t.Fatal("TRMM degenerate cases wrong")
+	}
+	// Substitution costs the same n² total per vector as the multiply
+	// (n(n−1) products/updates plus n divides).
+	for _, n := range []int{1, 2, 7, 64} {
+		for _, unit := range []bool{false, true} {
+			if TRSM(n, 3, unit) != TRMM(n, 3, unit) {
+				t.Fatalf("TRSM(%d) must equal TRMM", n)
+			}
+		}
+	}
+}
+
+func TestSYRK(t *testing.T) {
+	// n(n+1)/2 output elements at 2k flops each.
+	if got := SYRK(3, 5); got != 60 {
+		t.Fatalf("SYRK(3,5) = %g want 60", got)
+	}
+	if SYRK(1, 1) != 2 || SYRK(0, 9) != 0 {
+		t.Fatal("SYRK degenerate cases wrong")
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	c.Add(10)
