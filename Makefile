@@ -42,8 +42,11 @@ baseline:
 
 fuzz:
 	$(GO) test -fuzz=FuzzHouseholderQR -fuzztime=15s ./internal/lapack
+	$(GO) test -fuzz=FuzzDtpqrt2 -fuzztime=15s ./internal/lapack
 	$(GO) test -fuzz=FuzzAdmission -fuzztime=15s ./internal/sched
 	$(GO) test -fuzz=FuzzDgemm -fuzztime=15s ./internal/blas
+	$(GO) test -fuzz=FuzzDgemv -fuzztime=15s ./internal/blas
+	$(GO) test -fuzz=FuzzDger -fuzztime=15s ./internal/blas
 	$(GO) test -fuzz=FuzzDtrsm -fuzztime=15s ./internal/blas
 
 bench:

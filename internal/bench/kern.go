@@ -116,6 +116,68 @@ func kernSet() []kernCase {
 		})
 	}
 
+	// The level-2 kernels the panel factorizations lean on, at the tall
+	// panel shape: a fall off the 4-column AVX2 path shows up here before
+	// it shows up (diluted) in dgeqrf.
+	{
+		m, n := 4096, 64
+		a := matrix.Random(m, n, 8)
+		x := matrix.Random(m, 1, 9).Col(0)
+		y := make([]float64, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dgemv_%dx%d", m, n),
+			flops: flops.GEMM(m, n, 1),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					blas.Dgemv(blas.Trans, 1, a, x, 0, y)
+				}
+			},
+		})
+	}
+
+	{
+		m, n := 4096, 64
+		a := matrix.Random(m, n, 10)
+		x := matrix.Random(m, 1, 11).Col(0)
+		y := matrix.Random(n, 1, 12).Col(0)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("dger_%dx%d", m, n),
+			flops: flops.GEMM(m, n, 1),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					blas.Dger(1e-7, x, y, a)
+				}
+			},
+		})
+	}
+
+	// The TSQR reduction kernel at the paper's default panel width.
+	{
+		n := 64
+		r1 := matrix.Random(n, n, 13)
+		r2 := matrix.Random(n, n, 14)
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < n; i++ {
+				r1.Set(i, j, 0)
+				r2.Set(i, j, 0)
+			}
+		}
+		f1 := matrix.New(n, n)
+		f2 := matrix.New(n, n)
+		tau := make([]float64, n)
+		cases = append(cases, kernCase{
+			name:  fmt.Sprintf("stackqr_n%d", n),
+			flops: flops.TPQRT2(n),
+			run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					matrix.Copy(f1, r1)
+					matrix.Copy(f2, r2)
+					lapack.Dtpqrt2(f1, f2, tau)
+				}
+			},
+		})
+	}
+
 	return cases
 }
 

@@ -73,6 +73,92 @@ func FuzzDgemm(f *testing.F) {
 	})
 }
 
+func FuzzDgemv(f *testing.F) {
+	f.Add(uint16(8), uint16(8), uint16(0), false, 1.0, 0.0, int64(1))
+	f.Add(uint16(65), uint16(33), uint16(3), true, -0.5, 1.0, int64(2))
+	f.Add(uint16(4), uint16(1), uint16(1), false, 2.0, 0.25, int64(3))
+	f.Add(uint16(1), uint16(90), uint16(5), true, 1.5, -1.0, int64(4))
+	f.Fuzz(func(t *testing.T, um, un, upad uint16, transT bool, alpha, beta float64, seed int64) {
+		m, n, pad := int(um%160)+1, int(un%160)+1, int(upad%8)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e3 ||
+			math.IsNaN(beta) || math.IsInf(beta, 0) || math.Abs(beta) > 1e3 {
+			t.Skip()
+		}
+		trans := NoTrans
+		xn, yn := n, m
+		if transT {
+			trans, xn, yn = Trans, m, n
+		}
+		a := matrix.Random(m+pad, n, seed).View(pad/2, 0, m, n)
+		x := matrix.Random(xn, 1, seed+1).Col(0)
+		y0 := matrix.Random(yn, 1, seed+2).Col(0)
+
+		want := append([]float64(nil), y0...)
+		gemvRef(trans, alpha, a, x, beta, want)
+
+		// Each y element is a length-m (or n) FMA dot plus the beta term.
+		tol := 1e-13 * float64(xn+1) * (math.Abs(alpha) + math.Abs(beta) + 1)
+
+		check := func(label string, got []float64) {
+			t.Helper()
+			for i := range want {
+				if d := math.Abs(got[i] - want[i]); d > tol || math.IsNaN(d) {
+					t.Fatalf("%s m=%d n=%d pad=%d trans=%v alpha=%g beta=%g: y[%d] diff %g > %g",
+						label, m, n, pad, trans, alpha, beta, i, d, tol)
+				}
+			}
+		}
+
+		y := append([]float64(nil), y0...)
+		Dgemv(trans, alpha, a, x, beta, y)
+		check("dispatch", y)
+
+		if haveAsmKernel() {
+			prev := setAsmKernel(false)
+			y = append([]float64(nil), y0...)
+			Dgemv(trans, alpha, a, x, beta, y)
+			setAsmKernel(prev)
+			check("fallback", y)
+		}
+	})
+}
+
+func FuzzDger(f *testing.F) {
+	f.Add(uint16(8), uint16(8), uint16(0), 1.0, int64(1))
+	f.Add(uint16(65), uint16(33), uint16(3), -0.5, int64(2))
+	f.Add(uint16(4), uint16(1), uint16(1), 2.0, int64(3))
+	f.Add(uint16(1), uint16(90), uint16(5), 1.5, int64(4))
+	f.Fuzz(func(t *testing.T, um, un, upad uint16, alpha float64, seed int64) {
+		m, n, pad := int(um%160)+1, int(un%160)+1, int(upad%8)
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e3 {
+			t.Skip()
+		}
+		x := matrix.Random(m, 1, seed+1).Col(0)
+		y := matrix.Random(n, 1, seed+2).Col(0)
+
+		want := matrix.Random(m+pad, n, seed).View(pad/2, 0, m, n).Clone()
+		gerRef(alpha, x, y, want)
+
+		tol := 1e-14 * (math.Abs(alpha) + 1)
+
+		run := func(label string) {
+			t.Helper()
+			a := matrix.Random(m+pad, n, seed).View(pad/2, 0, m, n)
+			Dger(alpha, x, y, a)
+			if d := maxAbsDiff(a.Clone(), want); d > tol || math.IsNaN(d) {
+				t.Fatalf("%s m=%d n=%d pad=%d alpha=%g: max diff %g > %g", label, m, n, pad, alpha, d, tol)
+			}
+		}
+
+		run("dispatch")
+		if haveAsmKernel() {
+			prev := setAsmKernel(false)
+			run("fallback")
+			setAsmKernel(prev)
+		}
+	})
+}
+
 func FuzzDtrsm(f *testing.F) {
 	f.Add(uint16(8), uint16(4), false, false, false, 1.0, int64(1))
 	f.Add(uint16(100), uint16(7), true, false, true, 0.5, int64(2))

@@ -9,20 +9,32 @@ package blas
 
 import "math"
 
-// Ddot returns xᵀy. Slices must have equal length.
+// Ddot returns xᵀy. Slices must have equal length. Runs through the fused
+// multiply-add kernel (AVX2 or its bitwise-identical Go mirror), so the
+// result differs from a plain multiply-then-add loop in the last ulps.
 func Ddot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("blas: Ddot length mismatch")
 	}
-	var s float64
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return ddotKernel(x, y)
 }
 
 // Dnrm2 returns the Euclidean norm of x, with scaling against overflow.
+//
+// Fast path: xᵀx through the vector kernel and one square root, taken
+// whenever the sum of squares is far from the under/overflow thresholds
+// (the case for every conditioned input). The scaled one-pass update runs
+// only when the unscaled sum is degenerate. Dlarfg calls this once per
+// reflector on the full column tail, which made the scalar scaled loop a
+// measurable slice of skinny-panel factorization.
 func Dnrm2(x []float64) float64 {
+	const (
+		tsml = 1e-280 // squares this small may have lost underflowed terms
+		tbig = 1e280  // or overflowed on the way up
+	)
+	if s := ddotKernel(x, x); s > tsml && s < tbig {
+		return math.Sqrt(s)
+	}
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
 		if v == 0 {
@@ -50,7 +62,7 @@ func Dasum(x []float64) float64 {
 	return s
 }
 
-// Daxpy computes y += alpha*x.
+// Daxpy computes y = fma(alpha, x, y) elementwise.
 func Daxpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("blas: Daxpy length mismatch")
@@ -58,16 +70,12 @@ func Daxpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	daxpyKernel(alpha, x, y)
 }
 
 // Dscal computes x *= alpha.
 func Dscal(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	dscalKernel(alpha, x)
 }
 
 // Dcopy copies x into y.

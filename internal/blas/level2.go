@@ -11,6 +11,11 @@ const (
 )
 
 // Dgemv computes y = alpha*op(A)*x + beta*y.
+//
+// Columns are processed in 4-wide blocks through the fused level-2 kernels
+// (level2_fallback.go / level2_kernel_amd64.s) with ddot/daxpy leftovers.
+// The block split depends only on the shape — never on the data — so
+// results are bitwise-reproducible for a given shape and kernel path.
 func Dgemv(t Transpose, alpha float64, a *matrix.Dense, x []float64, beta float64, y []float64) {
 	m, n := a.Rows, a.Cols
 	if t == NoTrans {
@@ -20,43 +25,60 @@ func Dgemv(t Transpose, alpha float64, a *matrix.Dense, x []float64, beta float6
 		if beta != 1 {
 			Dscal(beta, y)
 		}
-		for j := 0; j < n; j++ {
-			f := alpha * x[j]
-			if f == 0 {
-				continue
-			}
-			col := a.Col(j)
-			for i := range y {
-				y[i] += f * col[i]
-			}
+		if m == 0 || alpha == 0 {
+			return
+		}
+		var f [4]float64
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			f[0], f[1], f[2], f[3] = alpha*x[j], alpha*x[j+1], alpha*x[j+2], alpha*x[j+3]
+			gemvN4Kernel(a.Col(j), a.Col(j+1), a.Col(j+2), a.Col(j+3), &f, y, a.Stride)
+		}
+		for ; j < n; j++ {
+			daxpyKernel(alpha*x[j], a.Col(j), y)
 		}
 		return
 	}
 	if len(x) != m || len(y) != n {
 		panic("blas: Dgemv shape mismatch")
 	}
-	for j := 0; j < n; j++ {
-		y[j] = alpha*Ddot(a.Col(j), x) + beta*y[j]
+	if m == 0 {
+		for j := range y {
+			y[j] = beta * y[j]
+		}
+		return
+	}
+	var out [4]float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		gemvT4Kernel(a.Col(j), a.Col(j+1), a.Col(j+2), a.Col(j+3), x, a.Stride, &out)
+		y[j] = alpha*out[0] + beta*y[j]
+		y[j+1] = alpha*out[1] + beta*y[j+1]
+		y[j+2] = alpha*out[2] + beta*y[j+2]
+		y[j+3] = alpha*out[3] + beta*y[j+3]
+	}
+	for ; j < n; j++ {
+		y[j] = alpha*ddotKernel(a.Col(j), x) + beta*y[j]
 	}
 }
 
-// Dger computes A += alpha*x*yᵀ (rank-1 update).
+// Dger computes A += alpha*x*yᵀ (rank-1 update), in the same shape-only
+// 4-column blocking as Dgemv.
 func Dger(alpha float64, x, y []float64, a *matrix.Dense) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic("blas: Dger shape mismatch")
 	}
-	if alpha == 0 {
+	if alpha == 0 || a.Rows == 0 {
 		return
 	}
-	for j := 0; j < a.Cols; j++ {
-		f := alpha * y[j]
-		if f == 0 {
-			continue
-		}
-		col := a.Col(j)
-		for i := range x {
-			col[i] += f * x[i]
-		}
+	var f [4]float64
+	j := 0
+	for ; j+4 <= a.Cols; j += 4 {
+		f[0], f[1], f[2], f[3] = alpha*y[j], alpha*y[j+1], alpha*y[j+2], alpha*y[j+3]
+		dger4Kernel(a.Col(j), a.Col(j+1), a.Col(j+2), a.Col(j+3), &f, x, a.Stride)
+	}
+	for ; j < a.Cols; j++ {
+		daxpyKernel(alpha*y[j], x, a.Col(j))
 	}
 }
 

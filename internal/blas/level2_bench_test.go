@@ -1,0 +1,40 @@
+package blas
+
+import (
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+func BenchmarkDgemvTallPanel(b *testing.B) {
+	m, n := 4096, 64
+	a := matrix.Random(m, n, 1)
+	x := matrix.Random(n, 1, 2).Col(0)
+	y := matrix.New(m, 1).Col(0)
+	xt := matrix.Random(m, 1, 3).Col(0)
+	yt := matrix.New(n, 1).Col(0)
+	b.Run("NoTrans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Dgemv(NoTrans, 1.0, a, x, 0.0, y)
+		}
+		b.ReportMetric(2*float64(m)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	})
+	b.Run("Trans", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Dgemv(Trans, 1.0, a, xt, 0.0, yt)
+		}
+		b.ReportMetric(2*float64(m)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	})
+}
+
+func BenchmarkDgerTallPanel(b *testing.B) {
+	m, n := 4096, 64
+	a := matrix.Random(m, n, 1)
+	x := matrix.Random(m, 1, 2).Col(0)
+	y := matrix.Random(n, 1, 3).Col(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dger(1e-9, x, y, a)
+	}
+	b.ReportMetric(2*float64(m)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+}

@@ -1,0 +1,374 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA level-2 kernels. Every kernel mirrors a pure-Go twin in
+// level2_fallback.go bit for bit: identical lane decomposition, FMA
+// placement and reduction order (see the contract comment in
+// level2_kernel_amd64.go). Loads and stores are unaligned (VMOVUPD /
+// VMOVSD) because matrix views offset column bases arbitrarily.
+
+// func ddotAsm(n int, x, y *float64) float64
+//
+// Two 4-lane accumulator chains (Y0, Y1) over 8-element blocks, a single
+// 4-lane block for n&4, lanewise chain merge, [l0+l2, l1+l3] fold,
+// horizontal add, then sequential scalar FMAs for the n&3 tail.
+TEXT ·ddotAsm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	MOVQ x+8(FP), SI
+	MOVQ y+16(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ CX, R8
+	SHRQ $3, R8
+	JZ   dot4
+loop8:
+	VMOVUPD (SI), Y2
+	VMOVUPD 32(SI), Y3
+	VMOVUPD (DI), Y4
+	VMOVUPD 32(DI), Y5
+	VFMADD231PD Y4, Y2, Y0
+	VFMADD231PD Y5, Y3, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ R8
+	JNZ  loop8
+dot4:
+	TESTQ $4, CX
+	JZ    reduce
+	VMOVUPD (SI), Y2
+	VMOVUPD (DI), Y4
+	VFMADD231PD Y4, Y2, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+reduce:
+	VADDPD Y1, Y0, Y0        // lane l: chain0[l] + chain1[l]
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0        // [l0+l2, l1+l3]
+	VHADDPD X0, X0, X0       // (l0+l2) + (l1+l3)
+	MOVQ CX, R9
+	ANDQ $3, R9
+	JZ   done
+tail:
+	VMOVSD (SI), X4
+	VMOVSD (DI), X5
+	VFMADD231SD X5, X4, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ R9
+	JNZ  tail
+done:
+	VZEROUPPER
+	VMOVSD X0, ret+24(FP)
+	RET
+
+// func daxpyAsm(n int, alpha float64, x, y *float64)
+//
+// y[i] = fma(alpha, x[i], y[i]); elementwise, so the unroll cannot change
+// the result — the tail just reuses the broadcast scalar.
+TEXT ·daxpyAsm(SB), NOSPLIT, $0-32
+	MOVQ n+0(FP), CX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ y+24(FP), DI
+	MOVQ CX, R8
+	SHRQ $3, R8
+	JZ   axpy4
+loop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMOVUPD (DI), Y3
+	VMOVUPD 32(DI), Y4
+	VFMADD231PD Y1, Y0, Y3
+	VFMADD231PD Y2, Y0, Y4
+	VMOVUPD Y3, (DI)
+	VMOVUPD Y4, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ R8
+	JNZ  loop8
+axpy4:
+	TESTQ $4, CX
+	JZ    tailn
+	VMOVUPD (SI), Y1
+	VMOVUPD (DI), Y3
+	VFMADD231PD Y1, Y0, Y3
+	VMOVUPD Y3, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+tailn:
+	MOVQ CX, R9
+	ANDQ $3, R9
+	JZ   done
+tail:
+	VMOVSD (SI), X1
+	VMOVSD (DI), X3
+	VFMADD231SD X1, X0, X3
+	VMOVSD X3, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ R9
+	JNZ  tail
+done:
+	VZEROUPPER
+	RET
+
+// func dscalAsm(n int, alpha float64, x *float64)
+//
+// x[i] *= alpha; elementwise multiply, bitwise equal to the scalar loop.
+TEXT ·dscalAsm(SB), NOSPLIT, $0-24
+	MOVQ n+0(FP), CX
+	VBROADCASTSD alpha+8(FP), Y0
+	MOVQ x+16(FP), SI
+	MOVQ CX, R8
+	SHRQ $3, R8
+	JZ   scal4
+loop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD Y0, Y1, Y1
+	VMULPD Y0, Y2, Y2
+	VMOVUPD Y1, (SI)
+	VMOVUPD Y2, 32(SI)
+	ADDQ $64, SI
+	DECQ R8
+	JNZ  loop8
+scal4:
+	TESTQ $4, CX
+	JZ    tailn
+	VMOVUPD (SI), Y1
+	VMULPD Y0, Y1, Y1
+	VMOVUPD Y1, (SI)
+	ADDQ $32, SI
+tailn:
+	MOVQ CX, R9
+	ANDQ $3, R9
+	JZ   done
+tail:
+	VMOVSD (SI), X1
+	VMULSD X0, X1, X1
+	VMOVSD X1, (SI)
+	ADDQ $8, SI
+	DECQ R9
+	JNZ  tail
+done:
+	VZEROUPPER
+	RET
+
+// func dgemvT4Asm(m, lda int, a, x *float64, out *[4]float64)
+//
+// Four simultaneous dot products against a shared x: column c lives at
+// a + c·lda and owns one 4-lane accumulator (a single chain — the four
+// columns provide the instruction-level parallelism). Reduction per
+// column matches ddotAsm's fold; the m&3 tail appends scalar FMAs.
+TEXT ·dgemvT4Asm(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), CX
+	MOVQ lda+8(FP), R8
+	SHLQ $3, R8
+	MOVQ a+16(FP), SI
+	MOVQ x+24(FP), DI
+	MOVQ out+32(FP), DX
+	LEAQ (SI)(R8*1), R9
+	LEAQ (SI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	MOVQ CX, R12
+	SHRQ $2, R12
+	JZ   tailn
+loop4:
+	VMOVUPD (DI), Y4
+	VMOVUPD (SI), Y5
+	VFMADD231PD Y5, Y4, Y0
+	VMOVUPD (R9), Y5
+	VFMADD231PD Y5, Y4, Y1
+	VMOVUPD (R10), Y5
+	VFMADD231PD Y5, Y4, Y2
+	VMOVUPD (R11), Y5
+	VFMADD231PD Y5, Y4, Y3
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ R12
+	JNZ  loop4
+	VEXTRACTF128 $1, Y0, X5
+	VADDPD X5, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X5
+	VADDPD X5, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X5
+	VADDPD X5, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X5
+	VADDPD X5, X3, X3
+	VHADDPD X3, X3, X3
+tailn:
+	MOVQ CX, R12
+	ANDQ $3, R12
+	JZ   store
+tail:
+	VMOVSD (DI), X4
+	VMOVSD (SI), X5
+	VFMADD231SD X5, X4, X0
+	VMOVSD (R9), X5
+	VFMADD231SD X5, X4, X1
+	VMOVSD (R10), X5
+	VFMADD231SD X5, X4, X2
+	VMOVSD (R11), X5
+	VFMADD231SD X5, X4, X3
+	ADDQ $8, DI
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ R12
+	JNZ  tail
+store:
+	VZEROUPPER
+	VMOVSD X0, (DX)
+	VMOVSD X1, 8(DX)
+	VMOVSD X2, 16(DX)
+	VMOVSD X3, 24(DX)
+	RET
+
+// func dgemvN4Asm(m, lda int, a *float64, f *[4]float64, y *float64)
+//
+// y[i] accumulates the four column contributions chained in order
+// c = 0, 1, 2, 3 — one y load and store per 4-element block instead of
+// one per column.
+TEXT ·dgemvN4Asm(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), CX
+	MOVQ lda+8(FP), R8
+	SHLQ $3, R8
+	MOVQ a+16(FP), SI
+	MOVQ f+24(FP), DX
+	MOVQ y+32(FP), DI
+	LEAQ (SI)(R8*1), R9
+	LEAQ (SI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	VBROADCASTSD (DX), Y0
+	VBROADCASTSD 8(DX), Y1
+	VBROADCASTSD 16(DX), Y2
+	VBROADCASTSD 24(DX), Y3
+	MOVQ CX, R12
+	SHRQ $2, R12
+	JZ   tailn
+loop4:
+	VMOVUPD (DI), Y4
+	VMOVUPD (SI), Y5
+	VFMADD231PD Y5, Y0, Y4
+	VMOVUPD (R9), Y5
+	VFMADD231PD Y5, Y1, Y4
+	VMOVUPD (R10), Y5
+	VFMADD231PD Y5, Y2, Y4
+	VMOVUPD (R11), Y5
+	VFMADD231PD Y5, Y3, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ R12
+	JNZ  loop4
+tailn:
+	MOVQ CX, R12
+	ANDQ $3, R12
+	JZ   done
+tail:
+	VMOVSD (DI), X4
+	VMOVSD (SI), X5
+	VFMADD231SD X5, X0, X4
+	VMOVSD (R9), X5
+	VFMADD231SD X5, X1, X4
+	VMOVSD (R10), X5
+	VFMADD231SD X5, X2, X4
+	VMOVSD (R11), X5
+	VFMADD231SD X5, X3, X4
+	VMOVSD X4, (DI)
+	ADDQ $8, DI
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ R12
+	JNZ  tail
+done:
+	VZEROUPPER
+	RET
+
+// func dger4Asm(m, lda int, a *float64, f *[4]float64, x *float64)
+//
+// a_c[i] = fma(f[c], x[i], a_c[i]) for the four columns at a + c·lda;
+// x is read once per block instead of once per column.
+TEXT ·dger4Asm(SB), NOSPLIT, $0-40
+	MOVQ m+0(FP), CX
+	MOVQ lda+8(FP), R8
+	SHLQ $3, R8
+	MOVQ a+16(FP), SI
+	MOVQ f+24(FP), DX
+	MOVQ x+32(FP), DI
+	LEAQ (SI)(R8*1), R9
+	LEAQ (SI)(R8*2), R10
+	LEAQ (R9)(R8*2), R11
+	VBROADCASTSD (DX), Y0
+	VBROADCASTSD 8(DX), Y1
+	VBROADCASTSD 16(DX), Y2
+	VBROADCASTSD 24(DX), Y3
+	MOVQ CX, R12
+	SHRQ $2, R12
+	JZ   tailn
+loop4:
+	VMOVUPD (DI), Y4
+	VMOVUPD (SI), Y5
+	VFMADD231PD Y4, Y0, Y5
+	VMOVUPD Y5, (SI)
+	VMOVUPD (R9), Y5
+	VFMADD231PD Y4, Y1, Y5
+	VMOVUPD Y5, (R9)
+	VMOVUPD (R10), Y5
+	VFMADD231PD Y4, Y2, Y5
+	VMOVUPD Y5, (R10)
+	VMOVUPD (R11), Y5
+	VFMADD231PD Y4, Y3, Y5
+	VMOVUPD Y5, (R11)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	DECQ R12
+	JNZ  loop4
+tailn:
+	MOVQ CX, R12
+	ANDQ $3, R12
+	JZ   done
+tail:
+	VMOVSD (DI), X4
+	VMOVSD (SI), X5
+	VFMADD231SD X4, X0, X5
+	VMOVSD X5, (SI)
+	VMOVSD (R9), X5
+	VFMADD231SD X4, X1, X5
+	VMOVSD X5, (R9)
+	VMOVSD (R10), X5
+	VFMADD231SD X4, X2, X5
+	VMOVSD X5, (R10)
+	VMOVSD (R11), X5
+	VFMADD231SD X4, X3, X5
+	VMOVSD X5, (R11)
+	ADDQ $8, DI
+	ADDQ $8, SI
+	ADDQ $8, R9
+	ADDQ $8, R10
+	ADDQ $8, R11
+	DECQ R12
+	JNZ  tail
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,19 @@
+//go:build !amd64
+
+package blas
+
+// Stubs for platforms without the assembly level-2 kernels. haveAsmKernel
+// is false there (kernel_other.go), so useAsmKernel never selects these;
+// they exist only to keep the package compiling.
+
+func ddotAsm(n int, x, y *float64) float64 { panic("blas: no asm kernel") }
+
+func daxpyAsm(n int, alpha float64, x, y *float64) { panic("blas: no asm kernel") }
+
+func dscalAsm(n int, alpha float64, x *float64) { panic("blas: no asm kernel") }
+
+func dgemvT4Asm(m, lda int, a, x *float64, out *[4]float64) { panic("blas: no asm kernel") }
+
+func dgemvN4Asm(m, lda int, a *float64, f *[4]float64, y *float64) { panic("blas: no asm kernel") }
+
+func dger4Asm(m, lda int, a *float64, f *[4]float64, x *float64) { panic("blas: no asm kernel") }

@@ -35,6 +35,33 @@ func gemmRef(ta, tb Transpose, alpha float64, a, b *matrix.Dense, beta float64, 
 	}
 }
 
+// gemvRef computes y = alpha*op(A)*x + beta*y one dot product at a time,
+// in the order of the mathematical definition.
+func gemvRef(t Transpose, alpha float64, a *matrix.Dense, x []float64, beta float64, y []float64) {
+	for i := range y {
+		var s float64
+		if t == Trans {
+			for l := 0; l < a.Rows; l++ {
+				s += a.At(l, i) * x[l]
+			}
+		} else {
+			for l := 0; l < a.Cols; l++ {
+				s += a.At(i, l) * x[l]
+			}
+		}
+		y[i] = alpha*s + beta*y[i]
+	}
+}
+
+// gerRef computes A += alpha*x*yᵀ element by element.
+func gerRef(alpha float64, x, y []float64, a *matrix.Dense) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			a.Set(i, j, a.At(i, j)+alpha*x[i]*y[j])
+		}
+	}
+}
+
 // trsmRef solves op(T)·X = alpha·B (Left) or X·op(T) = alpha·B (Right)
 // by forward/back substitution, element by element. T is upper
 // triangular, optionally unit-diagonal; B is overwritten with X.

@@ -32,6 +32,58 @@ func TestStackQR(t *testing.T) {
 	}
 }
 
+// tpqrt2Sum is the definition-level count of Dtpqrt2: the per-column sum
+// the closed form in TPQRT2 collapses.
+func tpqrt2Sum(n int) float64 {
+	var f float64
+	for j := 0; j < n; j++ {
+		f += 3*float64(j+1) + 3 + float64(n-1-j)*(4*float64(j+1)+2)
+	}
+	return f
+}
+
+func TestTPQRT2ExactCount(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 8, 17, 64, 129, 1024} {
+		if got, want := TPQRT2(n), tpqrt2Sum(n); math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("TPQRT2(%d) = %g want %g", n, got, want)
+		}
+	}
+	// The exact count approaches the asymptotic 2n³/3 model from above.
+	for _, n := range []int{64, 256, 1024} {
+		ratio := TPQRT2(n) / StackQR(n)
+		if ratio < 1 || ratio > 1.2 {
+			t.Fatalf("TPQRT2(%d)/StackQR = %g, want in (1, 1.2]", n, ratio)
+		}
+	}
+	if TPQRT2(4096)/StackQR(4096) > 1.01 {
+		t.Fatal("TPQRT2 must converge to 2n³/3")
+	}
+}
+
+func TestTPQRTCount(t *testing.T) {
+	// A single panel degenerates to the unblocked kernel: identical count.
+	for _, n := range []int{1, 7, 32} {
+		if got, want := TPQRT(n, n), TPQRT2(n); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("TPQRT(%d,%d) = %g want TPQRT2 = %g", n, n, got, want)
+		}
+	}
+	// Blocking pays extra gemm flops on the dense trapezoid: strictly more
+	// than the unblocked count, same leading order.
+	for _, n := range []int{128, 512, 1024} {
+		b, u := TPQRT(n, 32), TPQRT2(n)
+		if b <= u {
+			t.Fatalf("TPQRT(%d,32) = %g not above TPQRT2 = %g", n, b, u)
+		}
+		if b > 2.5*u {
+			t.Fatalf("TPQRT(%d,32) = %g implausibly far above TPQRT2 = %g", n, b, u)
+		}
+	}
+	// nb <= 0 falls back to the default width.
+	if TPQRT(100, 0) != TPQRT(100, 32) {
+		t.Fatal("TPQRT default nb mismatch")
+	}
+}
+
 func TestGEMM(t *testing.T) {
 	if GEMM(2, 3, 4) != 48 {
 		t.Fatalf("GEMM = %g want 48", GEMM(2, 3, 4))

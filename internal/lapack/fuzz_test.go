@@ -63,3 +63,52 @@ func FuzzHouseholderQR(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDtpqrt2 differentially checks the structured stacked-triangle
+// factorization: the unblocked Dtpqrt2, the blocked Dtpqrt at a fuzzed
+// panel width, and a dense Dgeqr2 of the stacked pair must all agree on
+// R (after sign normalization), and the two structured paths must agree
+// on V and tau (they execute the same reflections).
+func FuzzDtpqrt2(f *testing.F) {
+	f.Add(uint8(4), uint8(2), int64(1))
+	f.Add(uint8(64), uint8(32), int64(7))
+	f.Add(uint8(1), uint8(0), int64(3))
+	f.Add(uint8(33), uint8(5), int64(9))
+	f.Fuzz(func(t *testing.T, nRaw, nbRaw uint8, seed int64) {
+		n := 1 + int(nRaw)%96
+		nb := 1 + int(nbRaw)%48
+		r1 := randTriu(n, seed)
+		r2 := randTriu(n, seed+1)
+		// Unblocked.
+		u1, u2 := r1.Clone(), r2.Clone()
+		tauU := make([]float64, n)
+		Dtpqrt2(u1, u2, tauU)
+		// Blocked at the fuzzed width.
+		b1, b2 := r1.Clone(), r2.Clone()
+		tauB := make([]float64, n)
+		Dtpqrt(b1, b2, tauB, nb)
+		tol := 1e-11 * float64(n)
+		for j := 0; j < n; j++ {
+			if math.Abs(tauU[j]-tauB[j]) > tol {
+				t.Fatalf("n=%d nb=%d: tau[%d] %g vs %g", n, nb, j, tauU[j], tauB[j])
+			}
+		}
+		if !matrix.Equal(u2, b2, tol) {
+			t.Fatalf("n=%d nb=%d: V differs between blocked and unblocked", n, nb)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i <= j; i++ {
+				if math.Abs(u1.At(i, j)-b1.At(i, j)) > tol {
+					t.Fatalf("n=%d nb=%d: R differs at (%d,%d)", n, nb, i, j)
+				}
+			}
+		}
+		// Dense reference on the stack.
+		ru := TriuCopy(u1).View(0, 0, n, n).Clone()
+		NormalizeRSigns(ru, nil)
+		want := denseStackR(r1, r2)
+		if !matrix.Equal(ru, want, tol) {
+			t.Fatalf("n=%d: structured R differs from dense stacked QR", n)
+		}
+	})
+}

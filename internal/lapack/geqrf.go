@@ -22,16 +22,46 @@ func Dgeqr2(a *matrix.Dense, tau []float64) {
 	if len(tau) < k {
 		panic("lapack: Dgeqr2 tau too short")
 	}
-	workP := getWork(n)
-	defer putWork(workP)
-	work := *workP
 	for j := 0; j < k; j++ {
 		col := a.Col(j)
 		beta, t := Dlarfg(col[j], col[j+1:])
 		tau[j] = t
 		col[j] = beta
 		if j < n-1 && t != 0 {
-			Dlarf(t, col[j+1:], a.View(j, j+1, m-j, n-j-1), work)
+			Dlarf(t, col[j+1:], a.View(j, j+1, m-j, n-j-1))
+		}
+	}
+}
+
+// geqr2NB is the inner panel width of panelQR. Level-2 traffic of a panel
+// factorization is ∝ m·n·(inner width), so a narrow inner panel with a
+// level-3 trailing update beats running Dgeqr2 across the full panel; 8
+// columns keeps the Dlarfb T/W overhead negligible while the reflector
+// applies stay inside geqr2NB-wide strips. A variable (not a const) so
+// the tuning benchmarks can sweep it; never mutated at runtime.
+var geqr2NB = 16
+
+// panelQR factors a tall panel with inner blocking at width geqr2NB:
+// Dgeqr2 runs only on geqr2NB-wide subpanels and the remaining columns
+// are updated by the blocked reflector. The split depends only on the
+// shape, so results are reproducible for a given shape and kernel path.
+func panelQR(a *matrix.Dense, tau []float64) {
+	m, n := a.Rows, a.Cols
+	k := min(m, n)
+	if k <= geqr2NB {
+		Dgeqr2(a, tau)
+		return
+	}
+	t, tP := getMat(geqr2NB, geqr2NB)
+	defer putWork(tP)
+	for j := 0; j < k; j += geqr2NB {
+		jb := min(geqr2NB, k-j)
+		panel := a.View(j, j, m-j, jb)
+		Dgeqr2(panel, tau[j:j+jb])
+		if j+jb < n {
+			tb := t.View(0, 0, jb, jb)
+			Dlarft(panel, tau[j:j+jb], tb)
+			Dlarfb(blas.Trans, panel, tb, a.View(j, j+jb, m-j, n-j-jb))
 		}
 	}
 }
@@ -54,19 +84,18 @@ func Dlarft(v *matrix.Dense, tau []float64, t *matrix.Dense) {
 			continue
 		}
 		// t[0:i, i] = -tau[i] * V[:, 0:i]ᵀ · v_i, exploiting that v_i is
-		// zero above row i and has a unit entry at row i.
-		for j := 0; j < i; j++ {
-			vj := v.Col(j)
-			vi := v.Col(i)
-			s := vj[i] // unit element of v_i times V[i, j]
-			for l := i + 1; l < m; l++ {
-				s += vj[l] * vi[l]
-			}
-			t.Set(j, i, -tau[i]*s)
-		}
-		// t[0:i, i] = T[0:i, 0:i] · t[0:i, i]
+		// zero above row i and has a unit entry at row i: seed with the
+		// unit-row term V[i, j], then one transposed gemv over the common
+		// tail rows i+1:m adds the dots (alpha = beta = -tau[i] folds the
+		// scaling into the same call).
 		if i > 0 {
+			vi := v.Col(i)
 			colTop := t.Col(i)[:i]
+			for j := 0; j < i; j++ {
+				colTop[j] = v.Col(j)[i]
+			}
+			blas.Dgemv(blas.Trans, -tau[i], v.View(i+1, 0, m-i-1, i), vi[i+1:m], -tau[i], colTop)
+			// t[0:i, i] = T[0:i, 0:i] · t[0:i, i]
 			blas.Dtrmv(blas.NoTrans, t.View(0, 0, i, i), colTop)
 		}
 		t.Set(i, i, tau[i])
@@ -149,8 +178,13 @@ func Dgeqrf(a *matrix.Dense, tau []float64, nb int) {
 	if nb <= 0 {
 		nb = DefaultBlock
 	}
-	if nb >= k {
-		Dgeqr2(a, tau)
+	// Skinny matrices are one panel: panelQR's flat geqr2NB-wide inner
+	// blocking issues strictly fewer trailing-update flops than nesting it
+	// inside an outer nb-wide sweep (the outer Dlarfb re-applies k=nb
+	// reflectors to columns the inner level already updated), so the nb
+	// hint is ignored up to DefaultBlock columns.
+	if nb >= k || k <= DefaultBlock {
+		panelQR(a, tau)
 		return
 	}
 	// T's lower triangle is never read (Dlarft writes, applyT's Dtrmm
@@ -160,7 +194,7 @@ func Dgeqrf(a *matrix.Dense, tau []float64, nb int) {
 	for j := 0; j < k; j += nb {
 		jb := min(nb, k-j)
 		panel := a.View(j, j, m-j, jb)
-		Dgeqr2(panel, tau[j:j+jb])
+		panelQR(panel, tau[j:j+jb])
 		if j+jb < n {
 			tb := t.View(0, 0, jb, jb)
 			Dlarft(panel, tau[j:j+jb], tb)

@@ -22,12 +22,11 @@ func Dorm2r(trans blas.Transpose, a *matrix.Dense, tau []float64, c *matrix.Dens
 	if len(tau) < k {
 		panic("lapack: Dorm2r tau too short")
 	}
-	work := make([]float64, c.Cols)
 	apply := func(j int) {
 		if tau[j] == 0 {
 			return
 		}
-		Dlarf(tau[j], a.Col(j)[j+1:], c.View(j, 0, m-j, c.Cols), work)
+		Dlarf(tau[j], a.Col(j)[j+1:], c.View(j, 0, m-j, c.Cols))
 	}
 	if trans == blas.Trans {
 		for j := 0; j < k; j++ {

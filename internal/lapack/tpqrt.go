@@ -1,6 +1,7 @@
 package lapack
 
 import (
+	"gridqr/internal/blas"
 	"gridqr/internal/flops"
 	"gridqr/internal/matrix"
 	"gridqr/internal/telemetry"
@@ -42,17 +43,13 @@ func Dtpqrt2(r1, r2 *matrix.Dense, tau []float64) {
 		//   w = r1[j,k] + b_jᵀ·r2[0:j+1, k]
 		//   r1[j,k]        -= t·w
 		//   r2[0:j+1, k]   -= t·w·b_j
+		// The known-zero wedge below row j of column k never enters: the
+		// dot and axpy run only over the stored rows 0..j of b_j.
 		for k := j + 1; k < n; k++ {
-			ck := r2.Col(k)
-			w := r1.At(j, k)
-			for i := 0; i <= j; i++ {
-				w += bj[i] * ck[i]
-			}
-			f := t * w
+			ck := r2.Col(k)[:j+1]
+			f := t * (r1.At(j, k) + blas.Ddot(bj, ck))
 			r1.Set(j, k, r1.At(j, k)-f)
-			for i := 0; i <= j; i++ {
-				ck[i] -= f * bj[i]
-			}
+			blas.Daxpy(-f, bj, ck)
 		}
 	}
 }
@@ -76,16 +73,10 @@ func ApplyStackQ(v *matrix.Dense, tau []float64, trans bool, c1, c2 *matrix.Dens
 		}
 		bj := v.Col(j)[:j+1]
 		for k := 0; k < p; k++ {
-			ck2 := c2.Col(k)
-			w := c1.At(j, k)
-			for i := 0; i <= j; i++ {
-				w += bj[i] * ck2[i]
-			}
-			f := t * w
+			ck2 := c2.Col(k)[:j+1]
+			f := t * (c1.At(j, k) + blas.Ddot(bj, ck2))
 			c1.Set(j, k, c1.At(j, k)-f)
-			for i := 0; i <= j; i++ {
-				ck2[i] -= f * bj[i]
-			}
+			blas.Daxpy(-f, bj, ck2)
 		}
 	}
 	if trans {
@@ -99,20 +90,36 @@ func ApplyStackQ(v *matrix.Dense, tau []float64, trans bool, c1, c2 *matrix.Dens
 	}
 }
 
+// stackQRBlockMin and stackQRNB pick StackQR's kernel: below the
+// threshold the fused column-wise Dtpqrt2 wins because the two stored
+// triangles fit in cache and its dot/axpy kernels run at memory speed;
+// from the threshold up (the triangle pair outgrows the L2) the blocked
+// Dtpqrt's gemm-based trailing updates amortize the misses. The
+// crossover sits between n = 768 and n = 1024 on the reference machine
+// (BenchmarkDtpqrtBlockedVsUnblocked); nb = 32 is the best panel width
+// at and above it. Variables (not consts) so tuning benchmarks can
+// sweep them; never mutated at runtime.
+var (
+	stackQRBlockMin = 1024
+	stackQRNB       = 32
+)
+
 // StackQR is the value-level TSQR reduction operation: given two n×n
 // upper triangular factors it returns the R factor of [r1; r2] along with
 // the implicit Q (v, tau) needed to reconstruct the orthogonal factor.
-// Inputs are not modified.
+// Inputs are not modified. The kernel choice depends only on n, so
+// results are reproducible for a given size.
 func StackQR(r1, r2 *matrix.Dense) (r, v *matrix.Dense, tau []float64) {
-	defer telemetry.TimeKernel("stack_qr", flops.StackQR(r1.Rows))()
+	n := r1.Rows
+	defer telemetry.TimeKernel("stack_qr", flops.TPQRT2(n))()
 	r = r1.Clone()
 	v = r2.Clone()
-	tau = make([]float64, r1.Rows)
-	// The blocked Dtpqrt produces identical output but measures slower
-	// than the unblocked kernel in pure Go at every size we bench
-	// (BenchmarkDtpqrtBlockedVsUnblocked) — block reflectors only pay
-	// with a vectorized BLAS3 — so the column-wise kernel is the default.
-	Dtpqrt2(r, v, tau)
+	tau = make([]float64, n)
+	if n >= stackQRBlockMin {
+		Dtpqrt(r, v, tau, stackQRNB)
+	} else {
+		Dtpqrt2(r, v, tau)
+	}
 	// Clear any strictly-lower garbage so r is exactly triangular.
 	for j := 0; j < r.Cols; j++ {
 		for i := j + 1; i < r.Rows; i++ {

@@ -36,11 +36,13 @@ func Dtpqrt(r1, r2 *matrix.Dense, tau []float64, nb int) {
 		// reflector c has an implicit unit at r1 row j+c and its stored
 		// part in r2 rows 0..j+c (column j+c): a (j+jb)×jb trapezoid.
 		vp := r2.View(0, j, j+jb, jb)
-		t := tpqrtT(vp, tau[j:j+jb])
+		t, tP := getMat(jb, jb)
+		tpqrtT(vp, tau[j:j+jb], t)
 		// W = C1[j:j+jb, rest] + Vpᵀ·C2[0:j+jb, rest]
 		c1 := r1.View(j, j+jb, jb, rest)
 		c2 := r2.View(0, j+jb, j+jb, rest)
-		w := c1.Clone()
+		w, wP := getMat(jb, rest)
+		matrix.Copy(w, c1)
 		blas.Dgemm(blas.Trans, blas.NoTrans, 1, vp, c2, 1, w)
 		// W ← Tᵀ·W
 		blas.Dtrmm(blas.Left, blas.Trans, false, 1, t, w)
@@ -49,6 +51,8 @@ func Dtpqrt(r1, r2 *matrix.Dense, tau []float64, nb int) {
 			blas.Daxpy(-1, w.Col(c), c1.Col(c))
 		}
 		blas.Dgemm(blas.NoTrans, blas.NoTrans, -1, vp, w, 1, c2)
+		putWork(wP)
+		putWork(tP)
 	}
 }
 
@@ -65,47 +69,40 @@ func tpqrt2Panel(r1, r2 *matrix.Dense, tau []float64, j, jb int) {
 			continue
 		}
 		for k := col + 1; k < j+jb; k++ {
-			ck := r2.Col(k)
-			w := r1.At(col, k)
-			for i := 0; i <= col; i++ {
-				w += bj[i] * ck[i]
-			}
-			f := t * w
+			ck := r2.Col(k)[:col+1]
+			f := t * (r1.At(col, k) + blas.Ddot(bj, ck))
 			r1.Set(col, k, r1.At(col, k)-f)
-			for i := 0; i <= col; i++ {
-				ck[i] -= f * bj[i]
-			}
+			blas.Daxpy(-f, bj, ck)
 		}
 	}
 }
 
 // tpqrtT builds the jb×jb T factor of a stacked panel from its stored V
-// trapezoid and taus: because the unit parts of distinct reflectors live
-// in distinct rows, only the V block contributes to the cross products.
-func tpqrtT(vp *matrix.Dense, tau []float64) *matrix.Dense {
+// trapezoid and taus, writing into the caller-provided t (pooled, dirty
+// storage is fine: every upper-triangle entry is written, the strict
+// lower triangle is never read downstream). Because the unit parts of
+// distinct reflectors live in distinct rows, only the V block
+// contributes to the cross products.
+func tpqrtT(vp *matrix.Dense, tau []float64, t *matrix.Dense) {
 	jb := vp.Cols
-	t := matrix.New(jb, jb)
 	for i := 0; i < jb; i++ {
 		t.Set(i, i, tau[i])
-		if i == 0 || tau[i] == 0 {
+		if i == 0 {
+			continue
+		}
+		col := t.Col(i)[:i]
+		if tau[i] == 0 {
+			for c := range col {
+				col[c] = 0
+			}
 			continue
 		}
 		// col = −tau_i · Vp[:, 0:i]ᵀ · v_i, with v_i's stored rows only.
 		rows := vp.Rows - vp.Cols + i + 1 // v_i nonzero rows: 0..(j+i)
-		col := make([]float64, i)
 		vi := vp.Col(i)[:rows]
 		for c := 0; c < i; c++ {
-			vc := vp.Col(c)[:rows]
-			var s float64
-			for r := 0; r < rows; r++ {
-				s += vc[r] * vi[r]
-			}
-			col[c] = -tau[i] * s
+			col[c] = -tau[i] * blas.Ddot(vp.Col(c)[:rows], vi)
 		}
 		blas.Dtrmv(blas.NoTrans, t.View(0, 0, i, i), col)
-		for c := 0; c < i; c++ {
-			t.Set(c, i, col[c])
-		}
 	}
-	return t
 }
