@@ -30,7 +30,7 @@ check: build vet fmt-check test race
 # Perf-regression gate: re-run the standard benchmark set and fail on
 # any drift from the committed baseline (message/flop counts exact,
 # bytes and simulated seconds within tight relative tolerance).
-BASELINE ?= results/BENCH_4.json
+BASELINE ?= results/BENCH_7.json
 
 perfgate:
 	$(GO) run ./cmd/gridbench -baseline $(BASELINE)

@@ -11,16 +11,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
 
 	"gridqr/internal/bench"
 	"gridqr/internal/core"
 	"gridqr/internal/grid"
+	"gridqr/internal/monitor"
 	"gridqr/internal/mpi"
 	"gridqr/internal/scalapack"
+	"gridqr/internal/sched"
 	"gridqr/internal/telemetry"
 )
 
@@ -35,6 +44,9 @@ func main() {
 	jsonOut := flag.String("json", "", "run the standard benchmark set and write a machine-readable JSON report")
 	baseline := flag.String("baseline", "", "re-run the standard benchmark set and fail if it drifts from this committed JSON report (the CI perf gate)")
 	serve := flag.Bool("serve", false, "run the closed-loop serving benchmark: concurrent TSQR jobs space-shared over site partitions, throughput and latency vs offered load")
+	listen := flag.String("listen", "", "with -serve: expose the monitoring endpoint (/metrics, /healthz, /jobs, /trace, /debug/pprof) on this address, e.g. 127.0.0.1:9090")
+	verbose := flag.Bool("v", false, "with -serve: structured per-job lifecycle logs (log/slog) on stderr")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "with -serve: how long SIGINT/SIGTERM shutdown waits for in-flight jobs before exiting nonzero")
 	overlap := flag.Bool("overlap", false, "use the compute/communication-overlap variants in the traced benchmark (-trace/-metrics)")
 	flag.Parse()
 	if *faults {
@@ -84,7 +96,9 @@ func main() {
 		if *quick {
 			loads = loads[:min(2, len(loads))]
 		}
-		fmt.Println(bench.FormatServe(g, bench.ServeStudy(g, loads, bench.ServeJobsPerClient)))
+		if !runServe(g, loads, *verbose, *listen, *drainTimeout) {
+			os.Exit(1)
+		}
 	}
 	if *baseline != "" {
 		ran = true
@@ -102,6 +116,8 @@ func main() {
 		}
 		rep := bench.BuildReport(platformName(*platform), bench.StandardReportRuns(g))
 		rep.Serving = bench.BuildServingRuns(g)
+		to := bench.TraceOverheadStudy(g)
+		rep.TraceOverhead = &to
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -239,6 +255,103 @@ func main() {
 	}
 }
 
+// runServe drives the closed-loop serving sweep under a signal-aware
+// context: SIGINT/SIGTERM stops new submissions, drains the in-flight
+// jobs (bounded by drainTimeout), flushes a final SLO and metrics
+// snapshot, and returns false — a nonzero exit — only when the drain
+// times out or a job genuinely fails.
+func runServe(g *grid.Grid, loads []int, verbose bool, listen string,
+	drainTimeout time.Duration) bool {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := bench.ServeOptions{
+		TraceRing:    &telemetry.RingConfig{Capacity: 256, Head: 32},
+		DrainTimeout: drainTimeout,
+	}
+	if verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	// The monitoring endpoint follows the live load point: each fresh
+	// server re-points /metrics, /jobs and /trace through the Swappable
+	// while the listener — and so the scrape address — stays up.
+	var last struct {
+		sync.Mutex
+		srv *sched.Server
+		reg *telemetry.Registry
+	}
+	swap := monitor.NewSwappable()
+	opts.OnPoint = func(srv *sched.Server, reg *telemetry.Registry) {
+		last.Lock()
+		last.srv, last.reg = srv, reg
+		last.Unlock()
+		swap.Set(monitor.Config{
+			Registry: reg,
+			Jobs:     func() any { return srv.Jobs() },
+			Trace:    srv.TraceTail,
+		})
+	}
+	if listen != "" {
+		mon, err := monitor.StartHandler(listen, swap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			return false
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = mon.Shutdown(sctx)
+			cancel()
+		}()
+		fmt.Printf("monitoring on http://%s/metrics (also /healthz /jobs /trace /debug/pprof)\n\n",
+			mon.Addr())
+	}
+
+	rows, err := bench.ServeStudy(ctx, g, loads, bench.ServeJobsPerClient, opts)
+	if len(rows) > 0 {
+		fmt.Println(bench.FormatServe(g, rows))
+	}
+
+	// Final flush: the last load point's SLO snapshot, and under -v the
+	// full metrics registry with bucket boundaries and quantiles.
+	last.Lock()
+	srv, reg := last.srv, last.reg
+	last.Unlock()
+	if srv != nil {
+		slo := srv.SLO()
+		fmt.Printf("final SLO (last load point): submitted=%d completed=%d failed=%d rejected=%d retries=%d deadline_misses=%d\n",
+			slo.Submitted, slo.Completed, slo.Failed, slo.Rejected, slo.Retries, slo.DeadlineMisses)
+		fmt.Printf("latency p50=%.4gs p99=%.4gs p999=%.4gs; queue wait p50=%.4gs p99=%.4gs\n\n",
+			slo.Latency.P50, slo.Latency.P99, slo.Latency.P999,
+			slo.QueueWait.P50, slo.QueueWait.P99)
+	}
+	if verbose && reg != nil {
+		fmt.Println("== Final metrics registry ==")
+		fmt.Print(reg.Dump())
+		fmt.Println()
+	}
+
+	if err == nil && ctx.Err() == nil {
+		fmt.Println(bench.FormatTraceOverhead(bench.TraceOverheadStudy(g)))
+	}
+
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, bench.ErrDrainTimeout):
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("shutdown: drained in-flight jobs cleanly after signal (%d load point(s) finished)\n",
+			len(rows))
+		return true
+	default:
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	}
+}
+
 // adaptSweepsTo clamps the paper's sweep parameters to what a custom
 // platform can support: site counts within the cluster count, and domain
 // counts that divide every cluster's processor count.
@@ -305,6 +418,10 @@ func perfGate(g *grid.Grid, baselinePath, platform string) bool {
 	if len(want.Serving) > 0 {
 		got.Serving = bench.BuildServingRuns(g)
 	}
+	if want.TraceOverhead != nil {
+		to := bench.TraceOverheadStudy(g)
+		got.TraceOverhead = &to
+	}
 	diffs := bench.CompareReports(got, want, bench.Tolerances{})
 	if len(diffs) == 0 {
 		fmt.Printf("perf gate: %d baseline runs match within tolerance\n", len(want.Runs))
@@ -340,7 +457,7 @@ func telemetryRun(g *grid.Grid, traceOut string, metrics, overlap bool) {
 	fmt.Printf("\n%s\n", m.CommMatrix.String())
 	if metrics {
 		fmt.Println("== Metrics registry ==")
-		fmt.Print(m.Registry.String())
+		fmt.Print(m.Registry.Dump())
 		fmt.Println()
 	}
 	if traceOut != "" {

@@ -21,6 +21,9 @@ type Report struct {
 	// its deterministic per-job traffic fields participate in the perf
 	// gate; wall-clock throughput and latency are informational.
 	Serving []ServeRun `json:"serving,omitempty"`
+	// TraceOverhead records the ring-collector cost study: span counts
+	// gate exactly, the overhead percentage only against a loose cap.
+	TraceOverhead *TraceOverheadRun `json:"trace_overhead,omitempty"`
 }
 
 // ReportRun is one experiment point of a Report.

@@ -1,7 +1,10 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +45,11 @@ var StandardServeLoads = []int{1, 2, 4, 8}
 // ServeJobsPerClient is how many jobs each closed-loop client submits.
 const ServeJobsPerClient = 8
 
+// ErrDrainTimeout reports that in-flight jobs failed to complete within
+// ServeOptions.DrainTimeout after a shutdown signal; gridbench exits
+// nonzero exactly when it sees this error.
+var ErrDrainTimeout = errors.New("bench: drain timeout: in-flight jobs did not complete")
+
 // ServeRun is one offered-load point of the serving benchmark.
 type ServeRun struct {
 	Clients int   `json:"clients"`
@@ -51,11 +59,32 @@ type ServeRun struct {
 	ThroughputJPS float64 `json:"throughput_jobs_per_s"`
 	P50Seconds    float64 `json:"p50_seconds"`
 	P99Seconds    float64 `json:"p99_seconds"`
+	P999Seconds   float64 `json:"p999_seconds"`
+	// Queue-wait latency quantiles: how long jobs sat admitted but
+	// undispatched — the backpressure signal of the SLO report.
+	QueueP50Seconds float64 `json:"queue_p50_seconds"`
+	QueueP99Seconds float64 `json:"queue_p99_seconds"`
 
 	// Deterministic per-job traffic (gated against the baseline).
 	MsgsPerJob          int64   `json:"msgs_per_job"`
 	InterSiteMsgsPerJob int64   `json:"inter_site_msgs_per_job"`
 	BytesPerJob         float64 `json:"bytes_per_job"`
+}
+
+// ServeOptions configures the sweep's observability and shutdown
+// behavior; the zero value reproduces the plain benchmark.
+type ServeOptions struct {
+	// Logger is handed to every server for structured per-job lifecycle
+	// records. Nil means silent.
+	Logger *slog.Logger
+	// TraceRing arms bounded ring-buffer tracing on each point's world.
+	TraceRing *telemetry.RingConfig
+	// OnPoint fires when a load point's server starts serving, giving
+	// the monitoring endpoint the live server and registry to expose.
+	OnPoint func(srv *sched.Server, reg *telemetry.Registry)
+	// DrainTimeout bounds how long a canceled sweep waits for in-flight
+	// jobs before giving up with ErrDrainTimeout (default 30s).
+	DrainTimeout time.Duration
 }
 
 // servePlan pairs sites into partitions when the platform allows it, so
@@ -71,26 +100,46 @@ func servePlan(g *grid.Grid) sched.Plan {
 // ServeStudy runs the closed-loop sweep: one fresh server per load
 // point, C clients each submitting jobsPerClient TSQR jobs with
 // distinct seeds. Cost-only worlds keep the 256-rank platform cheap
-// while preserving exact message accounting.
-func ServeStudy(g *grid.Grid, loads []int, jobsPerClient int) []ServeRun {
+// while preserving exact message accounting. Canceling ctx stops
+// clients from submitting further jobs; in-flight jobs are drained
+// (bounded by DrainTimeout) and the rows finished so far are returned
+// with ctx's error.
+func ServeStudy(ctx context.Context, g *grid.Grid, loads []int, jobsPerClient int,
+	opts ServeOptions) ([]ServeRun, error) {
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
 	var out []ServeRun
 	for _, c := range loads {
-		out = append(out, serveOnePoint(g, c, jobsPerClient))
+		row, err := serveOnePoint(ctx, g, c, jobsPerClient, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, row)
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
 	}
-	return out
+	return out, nil
 }
 
-func serveOnePoint(g *grid.Grid, clients, jobsPerClient int) ServeRun {
+func serveOnePoint(ctx context.Context, g *grid.Grid, clients, jobsPerClient int,
+	opts ServeOptions) (ServeRun, error) {
 	reg := telemetry.NewRegistry()
 	srv := sched.Start(sched.Config{
-		Grid:     g,
-		Plan:     servePlan(g),
-		QueueCap: clients, // closed loop: at most `clients` jobs in flight
-		MaxBatch: 1,       // batching off — per-job counters must be invariant
-		CostOnly: true,
-		Registry: reg,
+		Grid:      g,
+		Plan:      servePlan(g),
+		QueueCap:  clients, // closed loop: at most `clients` jobs in flight
+		MaxBatch:  1,       // batching off — per-job counters must be invariant
+		CostOnly:  true,
+		Registry:  reg,
+		Logger:    opts.Logger,
+		TraceRing: opts.TraceRing,
 	})
 	defer srv.Close()
+	if opts.OnPoint != nil {
+		opts.OnPoint(srv, reg)
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -107,12 +156,14 @@ func serveOnePoint(g *grid.Grid, clients, jobsPerClient int) ServeRun {
 		wg.Add(1)
 		go func(client int) {
 			defer wg.Done()
-			for i := 0; i < jobsPerClient; i++ {
+			for i := 0; i < jobsPerClient && ctx.Err() == nil; i++ {
 				j, err := srv.Submit(sched.JobSpec{
 					Kind: sched.KindTSQR, M: ServeM, N: ServeN,
 					Seed: int64(1 + client*jobsPerClient + i),
 				})
 				if err == nil {
+					// Drain discipline: once submitted, always wait the
+					// job out — shutdown never abandons an accepted job.
 					<-j.Done()
 					res := j.Result()
 					err = res.Err
@@ -136,46 +187,68 @@ func serveOnePoint(g *grid.Grid, clients, jobsPerClient int) ServeRun {
 			}
 		}(c)
 	}
-	wg.Wait()
+
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		select {
+		case <-drained:
+		case <-time.After(opts.DrainTimeout):
+			return ServeRun{}, fmt.Errorf("%w (load point %d clients)", ErrDrainTimeout, clients)
+		}
+	}
 	elapsed := time.Since(start)
 	if firstErr != nil {
-		panic(fmt.Sprintf("bench: serving benchmark job failed: %v", firstErr))
+		return ServeRun{}, fmt.Errorf("bench: serving benchmark job failed: %w", firstErr)
 	}
 
-	q := reg.Histogram("sched.latency_seconds").Quantiles([]float64{0.5, 0.99})
+	slo := srv.SLO()
 	row := ServeRun{
-		Clients:       clients,
-		Jobs:          completed,
-		ThroughputJPS: float64(completed) / elapsed.Seconds(),
-		P50Seconds:    q[0],
-		P99Seconds:    q[1],
+		Clients:         clients,
+		Jobs:            completed,
+		ThroughputJPS:   float64(completed) / elapsed.Seconds(),
+		P50Seconds:      slo.Latency.P50,
+		P99Seconds:      slo.Latency.P99,
+		P999Seconds:     slo.Latency.P999,
+		QueueP50Seconds: slo.QueueWait.P50,
+		QueueP99Seconds: slo.QueueWait.P99,
 	}
 	if completed > 0 {
 		row.MsgsPerJob = totals.msgs / completed
 		row.InterSiteMsgsPerJob = totals.inter / completed
 		row.BytesPerJob = totals.bytes / float64(completed)
 	}
-	return row
+	return row, nil
 }
 
 // BuildServingRuns executes the standard serving sweep for the
-// committed report.
+// committed report; benchmark-report generation has no cancellation
+// path, so errors (none expected without faults) panic as before.
 func BuildServingRuns(g *grid.Grid) []ServeRun {
-	return ServeStudy(g, StandardServeLoads, ServeJobsPerClient)
+	rows, err := ServeStudy(context.Background(), g, StandardServeLoads,
+		ServeJobsPerClient, ServeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return rows
 }
 
-// FormatServe renders the sweep as the throughput-vs-offered-load table.
+// FormatServe renders the sweep as the throughput-vs-offered-load table,
+// latency quantiles included (p50/p99/p999 end-to-end, p99 queue wait).
 func FormatServe(g *grid.Grid, rows []ServeRun) string {
 	var b strings.Builder
 	plan := servePlan(g)
 	fmt.Fprintf(&b, "== Serving layer: closed-loop TSQR jobs (M=%d, N=%d, %d partitions × %d ranks) ==\n",
 		ServeM, ServeN, len(plan.Groups), len(plan.Groups[0]))
-	fmt.Fprintf(&b, "%8s %6s %12s %10s %10s %10s %12s %14s\n",
-		"clients", "jobs", "jobs/s", "p50 (s)", "p99 (s)", "msgs/job", "inter/job", "bytes/job")
+	fmt.Fprintf(&b, "%8s %6s %12s %10s %10s %10s %10s %10s %12s %14s\n",
+		"clients", "jobs", "jobs/s", "p50 (s)", "p99 (s)", "p999 (s)", "qp99 (s)",
+		"msgs/job", "inter/job", "bytes/job")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%8d %6d %12.1f %10.2g %10.2g %10d %12d %14.4g\n",
-			r.Clients, r.Jobs, r.ThroughputJPS, r.P50Seconds, r.P99Seconds,
-			r.MsgsPerJob, r.InterSiteMsgsPerJob, r.BytesPerJob)
+		fmt.Fprintf(&b, "%8d %6d %12.1f %10.2g %10.2g %10.2g %10.2g %10d %12d %14.4g\n",
+			r.Clients, r.Jobs, r.ThroughputJPS, r.P50Seconds, r.P99Seconds, r.P999Seconds,
+			r.QueueP99Seconds, r.MsgsPerJob, r.InterSiteMsgsPerJob, r.BytesPerJob)
 	}
 	return b.String()
 }

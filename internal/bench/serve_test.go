@@ -1,10 +1,14 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"gridqr/internal/grid"
+	"gridqr/internal/sched"
+	"gridqr/internal/telemetry"
 )
 
 // TestServeStudyDeterministicTraffic runs the closed-loop harness on a
@@ -14,7 +18,10 @@ import (
 // reduction with exactly one inter-site hop.
 func TestServeStudyDeterministicTraffic(t *testing.T) {
 	g := grid.SmallTestGrid(4, 2, 2) // 4 sites × 4 procs → 2 partitions × 8 ranks
-	rows := ServeStudy(g, []int{1, 3}, 4)
+	rows, err := ServeStudy(context.Background(), g, []int{1, 3}, 4, ServeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("got %d rows", len(rows))
 	}
@@ -30,13 +37,63 @@ func TestServeStudyDeterministicTraffic(t *testing.T) {
 			t.Errorf("bytes/job drifts across load points: %g vs %g",
 				r.BytesPerJob, rows[0].BytesPerJob)
 		}
-		if r.ThroughputJPS <= 0 || r.P50Seconds <= 0 || r.P99Seconds < r.P50Seconds {
+		if r.ThroughputJPS <= 0 || r.P50Seconds <= 0 || r.P99Seconds < r.P50Seconds ||
+			r.P999Seconds < r.P99Seconds {
 			t.Errorf("clients=%d: implausible timing row %+v", r.Clients, r)
 		}
 	}
 	out := FormatServe(g, rows)
-	if !strings.Contains(out, "msgs/job") || !strings.Contains(out, "closed-loop") {
+	if !strings.Contains(out, "msgs/job") || !strings.Contains(out, "closed-loop") ||
+		!strings.Contains(out, "p999 (s)") {
 		t.Fatalf("table missing headers:\n%s", out)
+	}
+}
+
+// TestServeStudyCancel: a canceled context stops the sweep after the
+// in-flight jobs drain, returning the rows finished so far and the
+// context's error — never ErrDrainTimeout for a healthy server.
+func TestServeStudyCancel(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the sweep: drain immediately at the first point
+	rows, err := ServeStudy(ctx, g, []int{1, 2}, 4,
+		ServeOptions{DrainTimeout: 10 * time.Second})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d, want the first (drained) point only", len(rows))
+	}
+	// Clients observed the cancel before submitting anything.
+	if rows[0].Jobs != 0 {
+		t.Fatalf("pre-canceled sweep completed %d jobs", rows[0].Jobs)
+	}
+}
+
+// TestServeStudyObservability: the OnPoint hook sees the live server
+// and the sweep's registry carries the SLO series per point.
+func TestServeStudyObservability(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 2)
+	var points int
+	var lastReg *telemetry.Registry
+	rows, err := ServeStudy(context.Background(), g, []int{2}, 3, ServeOptions{
+		TraceRing: &telemetry.RingConfig{Capacity: 64, Head: 8},
+		OnPoint: func(srv *sched.Server, reg *telemetry.Registry) {
+			points++
+			lastReg = reg
+			if srv.TraceTail(1) == nil {
+				t.Error("OnPoint server is not ring-traced")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points != 1 || len(rows) != 1 {
+		t.Fatalf("points=%d rows=%d", points, len(rows))
+	}
+	if c := lastReg.Counter("sched.jobs.completed").Value(); c != 6 {
+		t.Fatalf("registry completed = %v, want 6", c)
 	}
 }
 

@@ -55,8 +55,10 @@ func (c *Ctx) Now() float64 {
 }
 
 // tracing reports whether this rank records structured spans: a traced
-// virtual world (the trace model is driven by the simulated clock).
-func (c *Ctx) tracing() bool { return c.world.trace != nil && c.world.virtual }
+// virtual world (the trace model is driven by the simulated clock). The
+// collector behind the check is either the unbounded Trace or a bounded
+// Ring; span-writing sites below do not care which.
+func (c *Ctx) tracing() bool { return c.world.collector != nil && c.world.virtual }
 
 // Phase opens a named algorithm-phase span on this rank's track and
 // returns its closer:
@@ -69,8 +71,8 @@ func (c *Ctx) Phase(name string) func() {
 	if !c.tracing() {
 		return func() {}
 	}
-	c.world.trace.BeginPhase(c.rank, name, c.world.clocks[c.rank])
-	return func() { c.world.trace.EndPhase(c.rank, c.world.clocks[c.rank]) }
+	c.world.collector.BeginPhase(c.rank, name, c.world.clocks[c.rank])
+	return func() { c.world.collector.EndPhase(c.rank, c.world.clocks[c.rank]) }
 }
 
 // maybeDie kills this rank when the fault plan says its time has come: a
@@ -85,7 +87,7 @@ func (c *Ctx) maybeDie() {
 	if k, ok := plan.killAt[c.rank]; ok && c.world.fstate[c.rank].ops >= k {
 		if c.tracing() {
 			now := c.world.clocks[c.rank]
-			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
+			c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
 				Start: now, End: now, Peer: -1, Link: telemetry.LinkNone, FlowSeq: -1,
 				Fault: "kill", Value: float64(c.world.fstate[c.rank].ops)})
 		}
@@ -125,7 +127,7 @@ func (c *Ctx) ChargeKernel(kernel string, flopCount float64, panelN int) {
 	if c.tracing() && dur > 0 {
 		// Zero-flop charges (degenerate panel shapes) advance nothing and
 		// would only clutter the trace with zero-duration spans.
-		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanCompute,
+		c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanCompute,
 			Name: kernel, Start: start, End: start + dur, Peer: -1,
 			Link: telemetry.LinkNone, FlowSeq: -1, Flops: flopCount})
 	}
@@ -229,7 +231,7 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 		now := c.world.clocks[c.rank]
 		m.arrival = now + extra + link.TransferTime(bytes)
 		if c.tracing() {
-			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventSend,
+			c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventSend,
 				Start: now, End: now, Peer: to, Bytes: bytes, Tag: tag,
 				Link: int8(class), CrossSite: class == grid.InterCluster,
 				FlowFrom: c.rank, FlowSeq: seq})
@@ -267,7 +269,7 @@ func (c *Ctx) noteFault(kind string, peer int, class grid.LinkClass, value float
 	}
 	if c.tracing() {
 		now := c.world.clocks[c.rank]
-		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
+		c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventFault,
 			Start: now, End: now, Peer: peer, Link: int8(class),
 			CrossSite: class == grid.InterCluster, FlowSeq: -1, Fault: kind, Value: value})
 	}
@@ -329,7 +331,7 @@ func (c *Ctx) completeRecv(m message, from, tag int) {
 		c.world.wait[c.rank][m.class] += m.arrival - start
 		c.world.clocks[c.rank] = m.arrival
 		if c.tracing() {
-			c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanWait,
+			c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.SpanWait,
 				Start: start, End: m.arrival, Peer: from, Bytes: m.bytes, Tag: tag,
 				Link: int8(m.class), CrossSite: grid.LinkClass(m.class) == grid.InterCluster,
 				FlowFrom: m.from, FlowSeq: m.seq})
@@ -338,7 +340,7 @@ func (c *Ctx) completeRecv(m message, from, tag int) {
 		// The message beat the receiver: no wait span, but the flow
 		// edge still closes here (happens-before is preserved).
 		now := c.world.clocks[c.rank]
-		c.world.trace.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventRecv,
+		c.world.collector.Add(telemetry.Span{Rank: c.rank, Kind: telemetry.EventRecv,
 			Start: now, End: now, Peer: from, Bytes: m.bytes, Tag: tag,
 			Link: int8(m.class), CrossSite: grid.LinkClass(m.class) == grid.InterCluster,
 			FlowFrom: m.from, FlowSeq: m.seq})

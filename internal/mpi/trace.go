@@ -51,17 +51,87 @@ type Event struct {
 	Class      grid.LinkClass // populated for Wait/Send only; zero value otherwise
 }
 
-// Traced enables trace collection on a virtual world.
+// Traced enables unbounded trace collection on a virtual world: every
+// span of every rank is kept, the right policy for post-hoc analysis
+// (critical paths, exact comm matrices) of bounded-length runs.
 func Traced() Option { return func(w *World) { w.traced = true } }
 
+// TracedRing enables bounded ring-buffer trace collection: each rank
+// retains a fixed head of its span stream plus a fixed-capacity ring of
+// deterministically sampled recent spans (see telemetry.RingConfig), so
+// an always-on serving world traces with O(capacity) memory however long
+// it runs, and the shards may be snapshotted live (TraceTail) while
+// ranks are still recording. When both Traced and TracedRing are given,
+// the full trace wins.
+func TracedRing(cfg telemetry.RingConfig) Option {
+	return func(w *World) { w.ringCfg = &cfg }
+}
+
 // Trace returns the structured trace recorded during Run (nil unless the
-// world was created with Traced()). The trace's Duration is stamped with
-// the final virtual clock so analyses see trailing idle time.
+// world was created with Traced or TracedRing). The trace's Duration is
+// stamped with the final virtual clock so analyses see trailing idle
+// time. For ring-traced worlds this is a snapshot of the retained spans;
+// sampled-out or evicted spans are absent, so flow edges may dangle —
+// fine for timeline rendering, not for exact critical-path analysis.
 func (w *World) Trace() *telemetry.Trace {
-	if w.trace != nil {
+	switch {
+	case w.trace != nil:
 		w.trace.Duration = w.MaxClock()
+		return w.trace
+	case w.ring != nil:
+		t := w.ring.Snapshot(0)
+		t.Duration = w.MaxClock()
+		return t
 	}
-	return w.trace
+	return nil
+}
+
+// TraceTail returns a snapshot holding at most the last n retained spans
+// of each rank — the `/trace?last=N` export. Safe to call while the
+// world is running; n <= 0 means everything retained. Nil on an untraced
+// world.
+func (w *World) TraceTail(n int) *telemetry.Trace {
+	switch {
+	case w.ring != nil:
+		t := w.ring.Snapshot(n)
+		t.Duration = w.MaxClock()
+		return t
+	case w.trace != nil:
+		w.trace.Duration = w.MaxClock()
+		if n <= 0 {
+			return w.trace
+		}
+		out := telemetry.NewTrace(w.trace.Ranks())
+		out.Sites, out.SiteNames, out.Duration = w.trace.Sites, w.trace.SiteNames, w.trace.Duration
+		for r := 0; r < w.trace.Ranks(); r++ {
+			track := w.trace.Track(r)
+			if len(track) > n {
+				track = track[len(track)-n:]
+			}
+			for _, s := range track {
+				out.Add(s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// TraceStats accounts the span stream: for ring worlds, how many spans
+// were offered, kept by the sampling policy, and currently retained; for
+// fully traced worlds seen == kept == retained. Zero on untraced worlds.
+func (w *World) TraceStats() telemetry.RingStats {
+	switch {
+	case w.ring != nil:
+		return w.ring.Stats()
+	case w.trace != nil:
+		var n int64
+		for r := 0; r < w.trace.Ranks(); r++ {
+			n += int64(len(w.trace.Track(r)))
+		}
+		return telemetry.RingStats{Seen: n, Kept: n, Retained: n}
+	}
+	return telemetry.RingStats{}
 }
 
 // Events returns every recorded event in the legacy flat form, grouped
@@ -69,11 +139,12 @@ func (w *World) Trace() *telemetry.Trace {
 // receives exist only in the structured trace.
 func (w *World) Events() [][]Event {
 	out := make([][]Event, w.n)
-	if w.trace == nil {
+	tr := w.Trace()
+	if tr == nil {
 		return out
 	}
 	for r := 0; r < w.n; r++ {
-		for _, s := range w.trace.Track(r) {
+		for _, s := range tr.Track(r) {
 			e := Event{Rank: r, Start: s.Start, End: s.End, Peer: s.Peer, Bytes: s.Bytes}
 			switch s.Kind {
 			case telemetry.SpanCompute:
@@ -98,7 +169,7 @@ func (w *World) Events() [][]Event {
 // wait, '!' inter-cluster wait, ' ' idle/untracked. When a bucket holds a
 // mix, the most time-consuming activity wins.
 func (w *World) Gantt(buckets int) string {
-	if !w.traced {
+	if w.collector == nil {
 		return "trace disabled (create the world with mpi.Traced())\n"
 	}
 	total := w.MaxClock()

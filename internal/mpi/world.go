@@ -44,11 +44,14 @@ type World struct {
 	compute          []float64 // virtual seconds each rank spent computing
 	wait             [][3]float64
 	traced           bool
-	trace            *telemetry.Trace  // nil unless traced; per-rank tracks, owner-goroutine access during Run
-	sendSeq          []int64           // per-rank message sequence, the flow identity of each send
-	rankCounts       []CounterSnapshot // per-rank traffic/flop tallies; owner-goroutine access during Run
-	metrics          *worldMetrics     // nil unless WithMetrics was given
-	slowdown         []float64         // per-rank compute multiplier (1 = nominal)
+	ringCfg          *telemetry.RingConfig
+	trace            *telemetry.Trace    // nil unless Traced(); unbounded per-rank tracks
+	ring             *telemetry.Ring     // nil unless TracedRing(); bounded shards
+	collector        telemetry.Collector // the armed span sink (trace or ring), nil when untraced
+	sendSeq          []int64             // per-rank message sequence, the flow identity of each send
+	rankCounts       []CounterSnapshot   // per-rank traffic/flop tallies; owner-goroutine access during Run
+	metrics          *worldMetrics       // nil unless WithMetrics was given
+	slowdown         []float64           // per-rank compute multiplier (1 = nominal)
 	pendingSlowdowns []pendingSlowdown
 	counters         Counters
 	start            time.Time
@@ -173,8 +176,7 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 	w.wait = make([][3]float64, w.n)
 	w.sendSeq = make([]int64, w.n)
 	w.rankCounts = make([]CounterSnapshot, w.n)
-	if w.traced {
-		w.trace = telemetry.NewTrace(w.n)
+	if w.traced || w.ringCfg != nil {
 		sites := make([]int, w.n)
 		for r := range sites {
 			sites[r] = g.ClusterOf(r)
@@ -183,8 +185,17 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 		for i, c := range g.Clusters {
 			names[i] = c.Name
 		}
-		w.trace.Sites = sites
-		w.trace.SiteNames = names
+		if w.traced {
+			w.trace = telemetry.NewTrace(w.n)
+			w.trace.Sites = sites
+			w.trace.SiteNames = names
+			w.collector = w.trace
+		} else {
+			w.ring = telemetry.NewRing(w.n, *w.ringCfg)
+			w.ring.Sites = sites
+			w.ring.SiteNames = names
+			w.collector = w.ring
+		}
 	}
 	w.dead = make([]atomic.Bool, w.n)
 	w.fstate = make([]*faultState, w.n)

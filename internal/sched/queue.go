@@ -4,6 +4,8 @@ import (
 	"container/heap"
 	"sync"
 	"time"
+
+	"gridqr/internal/telemetry"
 )
 
 // queue is the bounded admission queue: a priority heap (higher Priority
@@ -18,15 +20,22 @@ type queue struct {
 	h        jobHeap
 	closed   bool
 	// onDrop observes every job the queue completes itself (canceled,
-	// expired); the server counts them there.
+	// expired); the server counts them there. Called with the queue lock
+	// held, so it must not call back into the queue.
 	onDrop func(*Job, error)
+	// depth mirrors len(h) for the monitoring surface; updated under the
+	// lock at every mutation so scrapes never race or re-lock.
+	depth *telemetry.Gauge
 }
 
-func newQueue(capacity int, onDrop func(*Job, error)) *queue {
-	q := &queue{cap: capacity, onDrop: onDrop}
+func newQueue(capacity int, onDrop func(*Job, error), depth *telemetry.Gauge) *queue {
+	q := &queue{cap: capacity, onDrop: onDrop, depth: depth}
 	q.notEmpty = sync.NewCond(&q.mu)
 	return q
 }
+
+// syncDepth publishes the current length; callers hold q.mu.
+func (q *queue) syncDepth() { q.depth.Set(float64(len(q.h))) }
 
 // push admits a job, returning ErrQueueFull at capacity and
 // ErrServerClosed after close. retry pushes (re-admission after a
@@ -42,6 +51,7 @@ func (q *queue) push(j *Job) error {
 		return ErrQueueFull
 	}
 	heap.Push(&q.h, j)
+	q.syncDepth()
 	q.notEmpty.Signal()
 	return nil
 }
@@ -56,6 +66,7 @@ func (q *queue) pushRetry(j *Job) error {
 		return ErrQueueFull
 	}
 	heap.Push(&q.h, j)
+	q.syncDepth()
 	q.notEmpty.Signal()
 	return nil
 }
@@ -71,6 +82,7 @@ func (q *queue) pop(block bool) (*Job, bool) {
 	for {
 		for len(q.h) > 0 {
 			j := heap.Pop(&q.h).(*Job)
+			q.syncDepth()
 			if err := runnable(j); err != nil {
 				q.onDrop(j, err)
 				continue
@@ -105,6 +117,7 @@ func (q *queue) popMatch(match func(*Job) bool) (*Job, bool) {
 			return nil, false
 		}
 		j := heap.Remove(&q.h, best).(*Job)
+		q.syncDepth()
 		if err := runnable(j); err != nil {
 			q.onDrop(j, err)
 			continue
@@ -139,6 +152,14 @@ func (q *queue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.h)
+}
+
+// snapshot copies the queued jobs for the job table (heap order, not
+// sorted; callers order as they need).
+func (q *queue) snapshot() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*Job(nil), q.h...)
 }
 
 // jobHeap orders by priority (higher first), then admission sequence

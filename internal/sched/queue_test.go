@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"gridqr/internal/telemetry"
 )
 
 func mkJob(seq int64, prio int) *Job {
@@ -17,7 +19,7 @@ func mkJob(seq int64, prio int) *Job {
 }
 
 func TestQueuePriorityAndFIFO(t *testing.T) {
-	q := newQueue(16, func(*Job, error) {})
+	q := newQueue(16, func(*Job, error) {}, new(telemetry.Gauge))
 	for i, prio := range []int{0, 5, 0, 5, 1} {
 		if err := q.push(mkJob(int64(i), prio)); err != nil {
 			t.Fatal(err)
@@ -40,7 +42,7 @@ func TestQueuePriorityAndFIFO(t *testing.T) {
 }
 
 func TestQueueBackpressureAndClose(t *testing.T) {
-	q := newQueue(2, func(*Job, error) {})
+	q := newQueue(2, func(*Job, error) {}, new(telemetry.Gauge))
 	if err := q.push(mkJob(0, 0)); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestQueueBackpressureAndClose(t *testing.T) {
 
 func TestQueueDropsCanceledAndExpired(t *testing.T) {
 	var dropped []error
-	q := newQueue(8, func(_ *Job, err error) { dropped = append(dropped, err) })
+	q := newQueue(8, func(_ *Job, err error) { dropped = append(dropped, err) }, new(telemetry.Gauge))
 	c := mkJob(0, 0)
 	c.Cancel()
 	e := mkJob(1, 0)
@@ -90,7 +92,7 @@ func TestQueueDropsCanceledAndExpired(t *testing.T) {
 }
 
 func TestQueuePopMatch(t *testing.T) {
-	q := newQueue(8, func(*Job, error) {})
+	q := newQueue(8, func(*Job, error) {}, new(telemetry.Gauge))
 	a := mkJob(0, 0)
 	b := mkJob(1, 3)
 	c := mkJob(2, 0)
@@ -128,7 +130,7 @@ func FuzzAdmission(f *testing.F) {
 		q := newQueue(capacity, func(j *Job, err error) {
 			dropped++
 			j.complete(JobResult{Err: err}) // panics if completed twice
-		})
+		}, new(telemetry.Gauge))
 		var all, pending []*Job
 		var seq int64
 		closed := false

@@ -13,6 +13,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,17 @@ type Config struct {
 	// FT enables the fault-tolerant TSQR protocol for served TSQR jobs
 	// (data mode only).
 	FT core.FTOptions
+	// Logger receives structured per-job lifecycle records (submitted,
+	// dispatched, completed, failed, retrying) with id/kind/partition/
+	// priority/outcome fields. Nil means silent.
+	Logger *slog.Logger
+	// TraceRing arms bounded ring-buffer span tracing on the world
+	// (virtual modes only): the server stays traceable forever in
+	// O(capacity) memory, and TraceTail exports the live tail.
+	TraceRing *telemetry.RingConfig
+	// RecentJobs bounds the finished-job table kept for Jobs() and the
+	// monitor's /jobs endpoint (default 64).
+	RecentJobs int
 }
 
 // partition is one space-share of the grid: a site-aligned rank range
@@ -100,9 +112,26 @@ type serverMetrics struct {
 	batches, batchedJobs                   *telemetry.Counter
 	queueWait, service, latency            *telemetry.Histogram
 	jobMsgs, jobBytes                      *telemetry.Histogram
+	queueDepth, inflight                   *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
+	for name, help := range map[string]string{
+		"sched.jobs.submitted":     "jobs admitted to the queue",
+		"sched.jobs.completed":     "jobs finished successfully",
+		"sched.jobs.failed":        "jobs finished with an error",
+		"sched.jobs.rejected":      "submissions refused at admission",
+		"sched.jobs.expired":       "jobs that missed their queue deadline",
+		"sched.jobs.retries":       "re-dispatches after retryable failures",
+		"sched.rejections":         "rejections and drops by typed reason",
+		"sched.queue.depth":        "jobs currently in the admission queue",
+		"sched.inflight":           "jobs currently dispatched and running",
+		"sched.queue_wait_seconds": "submission-to-dispatch latency",
+		"sched.latency_seconds":    "submission-to-completion latency",
+		"sched.service_seconds":    "dispatch-to-completion service time",
+	} {
+		reg.SetHelp(name, help)
+	}
 	return serverMetrics{
 		submitted:   reg.Counter("sched.jobs.submitted"),
 		completed:   reg.Counter("sched.jobs.completed"),
@@ -118,6 +147,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		latency:     reg.Histogram("sched.latency_seconds"),
 		jobMsgs:     reg.Histogram("sched.job.msgs"),
 		jobBytes:    reg.Histogram("sched.job.bytes"),
+		queueDepth:  reg.Gauge("sched.queue.depth"),
+		inflight:    reg.Gauge("sched.inflight"),
 	}
 }
 
@@ -129,6 +160,7 @@ type Server struct {
 	queue   *queue
 	hasData bool
 	metrics serverMetrics
+	obs     *observer
 
 	rankColor  []int // world rank -> partition index (-1 = idle spare)
 	rankMember []int // world rank -> member index within its partition
@@ -181,6 +213,9 @@ func Start(cfg Config) *Server {
 	if cfg.Faults != nil {
 		opts = append(opts, mpi.WithFaults(cfg.Faults))
 	}
+	if cfg.TraceRing != nil {
+		opts = append(opts, mpi.TracedRing(*cfg.TraceRing))
+	}
 	reg := cfg.Registry
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -192,6 +227,7 @@ func Start(cfg Config) *Server {
 		world:        mpi.NewWorld(cfg.Grid, opts...),
 		hasData:      !cfg.CostOnly,
 		metrics:      newServerMetrics(reg),
+		obs:          newObserver(cfg.Logger, reg, cfg.RecentJobs),
 		rankColor:    make([]int, cfg.Grid.Procs()),
 		rankMember:   make([]int, cfg.Grid.Procs()),
 		allDead:      make(chan struct{}),
@@ -216,7 +252,7 @@ func Start(cfg Config) *Server {
 		}
 		s.parts = append(s.parts, p)
 	}
-	s.queue = newQueue(cfg.QueueCap, s.dropJob)
+	s.queue = newQueue(cfg.QueueCap, s.dropJob, s.metrics.queueDepth)
 	s.free = make(chan *partition, len(s.parts))
 	for _, p := range s.parts {
 		s.free <- p
@@ -261,11 +297,11 @@ func (s *Server) Stats() Stats {
 // backpressure, ErrServerClosed after Close.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if s.closed.Load() {
-		s.metrics.rejected.Inc()
+		s.reject(spec, ErrServerClosed)
 		return nil, ErrServerClosed
 	}
 	if err := s.validate(spec); err != nil {
-		s.metrics.rejected.Inc()
+		s.reject(spec, err)
 		return nil, err
 	}
 	j := &Job{
@@ -276,11 +312,19 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		done:   make(chan struct{}),
 	}
 	if err := s.queue.push(j); err != nil {
-		s.metrics.rejected.Inc()
+		s.reject(spec, err)
 		return nil, err
 	}
 	s.metrics.submitted.Inc()
+	s.obs.submitted(j)
 	return j, nil
+}
+
+// reject accounts one refused submission: the aggregate counter, the
+// reason-labeled series and the structured log record.
+func (s *Server) reject(spec JobSpec, err error) {
+	s.metrics.rejected.Inc()
+	s.obs.rejected(spec, err)
 }
 
 // Close drains the queue (queued jobs still run), waits for in-flight
@@ -311,6 +355,9 @@ func (s *Server) dropJob(j *Job, err error) {
 	default:
 		s.metrics.failed.Inc()
 	}
+	s.obs.reg.CounterL("sched.rejections",
+		telemetry.Labels{"reason": rejectReason(err)}).Inc()
+	s.obs.failed(j, -1, err)
 	j.complete(JobResult{
 		Err: err, Partition: -1, Retries: j.retries,
 		QueueWait: time.Since(j.submit),
@@ -396,7 +443,9 @@ func (s *Server) dispatch(part *partition, jobs []*Job) {
 	for _, j := range jobs {
 		j.dispatched = now
 		s.metrics.queueWait.Observe(now.Sub(j.submit).Seconds())
+		s.obs.dispatched(j, part.index, len(jobs))
 	}
+	s.metrics.inflight.Set(float64(s.obs.inFlight()))
 	if len(jobs) > 1 {
 		s.metrics.batches.Inc()
 		s.metrics.batchedJobs.Add(float64(len(jobs)))
@@ -637,8 +686,10 @@ func (s *Server) finishExec(ex *jobExec, leader memberReport, execErr error,
 		t := counters.Total()
 		s.metrics.jobMsgs.Observe(float64(t.Msgs))
 		s.metrics.jobBytes.Observe(t.Bytes)
+		s.obs.completed(j, &res)
 		j.complete(res)
 	}
+	s.metrics.inflight.Set(float64(s.obs.inFlight()))
 }
 
 // failOrRetry requeues a job after a retryable failure (rank death,
@@ -650,10 +701,12 @@ func (s *Server) failOrRetry(j *Job, execErr error) {
 		j.spec.Batchable = false // retry alone: no shared fate twice
 		if s.queue.pushRetry(j) == nil {
 			s.metrics.retries.Inc()
+			s.obs.retried(j, execErr)
 			return
 		}
 	}
 	s.metrics.failed.Inc()
+	s.obs.failed(j, -1, execErr)
 	j.complete(JobResult{
 		Err: execErr, Partition: -1, Retries: j.retries,
 		QueueWait: j.dispatched.Sub(j.submit),

@@ -1,0 +1,460 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of a Registry:
+// counters and gauges as single samples, histograms as cumulative
+// _bucket/_sum/_count families, each preceded by # HELP and # TYPE
+// lines. Output is deterministically ordered — families sorted by
+// exposition name, series within a family sorted by label set — so two
+// scrapes of the same state are byte-identical and golden tests are
+// stable. Metric and label names are sanitized to the exposition
+// grammar ('.' and '-' in registry names become '_').
+
+// sanitizeMetricName maps a registry name onto the exposition grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName maps a label key onto [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(s string) string {
+	out := sanitizeMetricName(s)
+	return strings.ReplaceAll(out, ":", "_")
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value; Prometheus accepts Go's shortest
+// 'g' representation including +Inf/NaN spellings.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one series prepared for exposition.
+type promSeries struct {
+	labels string // rendered, sanitized, sorted ("" = none)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// promFamily is one exposition family: a name, a type and its series.
+type promFamily struct {
+	name   string // sanitized exposition name
+	kind   string // "counter", "gauge", "histogram"
+	help   string
+	series []promSeries
+}
+
+// renderSeriesLabels re-renders a label set sanitized for exposition.
+func renderSeriesLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", sanitizeLabelName(k), escapeLabelValue(labels[k])))
+	}
+	return strings.Join(parts, ",")
+}
+
+// families gathers the registry's series into sorted exposition
+// families.
+func (r *Registry) families() []promFamily {
+	r.mu.Lock()
+	byName := map[string]*promFamily{}
+	add := func(key, kind string, s promSeries) {
+		id, ok := r.series[key]
+		if !ok {
+			id = seriesID{base: key}
+		}
+		name := sanitizeMetricName(id.base)
+		f, ok := byName[name+" "+kind]
+		if !ok {
+			f = &promFamily{name: name, kind: kind, help: r.help[id.base]}
+			byName[name+" "+kind] = f
+		}
+		s.labels = renderSeriesLabels(id.labels)
+		f.series = append(f.series, s)
+	}
+	for key, c := range r.counters {
+		add(key, "counter", promSeries{c: c})
+	}
+	for key, g := range r.gauges {
+		add(key, "gauge", promSeries{g: g})
+	}
+	for key, h := range r.histograms {
+		add(key, "histogram", promSeries{h: h})
+	}
+	r.mu.Unlock()
+
+	out := make([]promFamily, 0, len(byName))
+	for _, f := range byName {
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
+}
+
+// joinLabels merges a series' label string with one extra pair (used for
+// the le bucket label).
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes every metric of the registry in Prometheus text
+// exposition format.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		help := f.help
+		if help == "" {
+			help = "gridqr metric " + f.name
+		}
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case "counter":
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, joinLabels(s.labels, ""), formatValue(s.c.Value()))
+			case "gauge":
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, joinLabels(s.labels, ""), formatValue(s.g.Value()))
+			case "histogram":
+				counts := s.h.BucketCounts()
+				var cum int64
+				for i, c := range counts {
+					cum += c
+					le := fmt.Sprintf("le=%q", formatValue(BucketUpper(i)))
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, le), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, `le="+Inf"`), s.h.Count())
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, joinLabels(s.labels, ""), formatValue(s.h.Sum()))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, joinLabels(s.labels, ""), s.h.Count())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ValidatePrometheus parses a text exposition and checks it against the
+// format: # HELP/# TYPE comment grammar, metric and label name syntax,
+// float sample values, every sample preceded by its family's # TYPE,
+// histogram buckets cumulative and closed by an le="+Inf" bucket that
+// matches _count. It returns the number of samples parsed. This is the
+// parser the monitoring smoke tests scrape /metrics through — an
+// exposition bug fails CI, not a Prometheus server at 3am.
+func ValidatePrometheus(r io.Reader) (samples int, err error) {
+	types := map[string]string{} // family name -> type
+	type histState struct {
+		lastCum   map[string]int64 // labels-sans-le -> last cumulative value
+		infCount  map[string]int64 // labels-sans-le -> +Inf bucket value
+		countSeen map[string]int64 // labels-sans-le -> _count value
+	}
+	hists := map[string]*histState{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, cerr := parsePromComment(line)
+			if cerr != nil {
+				return samples, fmt.Errorf("line %d: %v", lineNo, cerr)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("line %d: bad TYPE %q", lineNo, rest)
+				}
+				if _, dup := types[name]; dup {
+					return samples, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				types[name] = rest
+				if rest == "histogram" {
+					hists[name] = &histState{
+						lastCum: map[string]int64{}, infCount: map[string]int64{}, countSeen: map[string]int64{},
+					}
+				}
+			}
+			continue
+		}
+		name, labels, value, perr := parsePromSample(line)
+		if perr != nil {
+			return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		samples++
+		family := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name {
+				if _, ok := hists[base]; ok {
+					family, suffix = base, sfx
+					break
+				}
+			}
+		}
+		if _, ok := types[family]; !ok {
+			return samples, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		}
+		if st, ok := hists[family]; ok && suffix != "" {
+			le, rest := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					return samples, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				cum := int64(value)
+				if prev, seen := st.lastCum[rest]; seen && cum < prev {
+					return samples, fmt.Errorf("line %d: histogram %s buckets not cumulative (%d < %d)",
+						lineNo, family, cum, prev)
+				}
+				st.lastCum[rest] = cum
+				if le == "+Inf" {
+					st.infCount[rest] = cum
+				}
+			case "_count":
+				st.countSeen[rest] = int64(value)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	for fam, st := range hists {
+		for rest, cnt := range st.countSeen {
+			inf, ok := st.infCount[rest]
+			if !ok {
+				return samples, fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", fam, rest)
+			}
+			if inf != cnt {
+				return samples, fmt.Errorf("histogram %s{%s}: +Inf bucket %d != count %d", fam, rest, inf, cnt)
+			}
+		}
+	}
+	return samples, nil
+}
+
+// parsePromComment parses a "# HELP name text" / "# TYPE name type"
+// line; other comments are ignored (kind "").
+func parsePromComment(line string) (kind, name, rest string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", "", nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return "", "", "", fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("bad metric name %q in HELP", fields[2])
+		}
+		return "HELP", fields[2], strings.Join(fields[3:], " "), nil
+	case "TYPE":
+		if len(fields) != 4 {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return "", "", "", fmt.Errorf("bad metric name %q in TYPE", fields[2])
+		}
+		return "TYPE", fields[2], fields[3], nil
+	}
+	return "", "", "", nil
+}
+
+// parsePromSample parses `name{labels} value` (timestamp suffixes are
+// not produced by this writer and are rejected).
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", "", 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = rest[brace+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		if err := validateLabelPairs(labels); err != nil {
+			return "", "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value in sample %q", line)
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return "", "", 0, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", rest)
+	}
+	return name, labels, v, nil
+}
+
+// validMetricName checks the exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validateLabelPairs checks `k="v",k2="v2"` syntax.
+func validateLabelPairs(s string) error {
+	if s == "" {
+		return nil
+	}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair near %q", s)
+		}
+		key := s[:eq]
+		if !validMetricName(key) || strings.ContainsRune(key, ':') {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value near %q", s)
+		}
+		// Scan the quoted value honoring escapes.
+		i := 1
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("unterminated label value")
+		}
+		s = s[i+1:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("expected ',' between label pairs near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// splitLE extracts the le label from a rendered label string, returning
+// its value and the remaining pairs (the series identity of a bucket).
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitPairs(labels) {
+		if strings.HasPrefix(pair, "le=") {
+			le = strings.Trim(pair[len("le="):], `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitPairs splits rendered label pairs on commas outside quotes.
+func splitPairs(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

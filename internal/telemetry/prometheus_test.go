@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a registry exercising every metric kind, labels
+// and names needing sanitization.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("mpi.msgs.inter-cluster").Add(3)
+	r.SetHelp("mpi.msgs.inter-cluster", "messages crossing a site boundary")
+	r.Gauge("sched.queue.depth").Set(7)
+	h := r.Histogram("sched.latency_seconds")
+	for _, v := range []float64{1e-4, 2e-4, 5e-3, 0.1, 0.1, 2} {
+		h.Observe(v)
+	}
+	r.CounterL("sched.rejections", Labels{"reason": "queue_full"}).Add(2)
+	r.CounterL("sched.rejections", Labels{"reason": "bad_spec"}).Inc()
+	r.HistogramL("sched.kind_latency", Labels{"kind": "tsqr"}).Observe(0.5)
+	return r
+}
+
+// TestPrometheusExposition checks the writer's output parses under the
+// validator, carries HELP/TYPE lines, renders labels, and is
+// byte-deterministic across scrapes.
+func TestPrometheusExposition(t *testing.T) {
+	r := promRegistry()
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two scrapes of the same state differ")
+	}
+	samples, err := ValidatePrometheus(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not validate: %v\n%s", err, a.String())
+	}
+	if samples == 0 {
+		t.Fatal("no samples emitted")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# HELP mpi_msgs_inter_cluster messages crossing a site boundary",
+		"# TYPE mpi_msgs_inter_cluster counter",
+		"mpi_msgs_inter_cluster 3",
+		"# TYPE sched_queue_depth gauge",
+		"sched_queue_depth 7",
+		"# TYPE sched_latency_seconds histogram",
+		`sched_latency_seconds_bucket{le="+Inf"} 6`,
+		"sched_latency_seconds_count 6",
+		`sched_rejections{reason="queue_full"} 2`,
+		`sched_rejections{reason="bad_spec"} 1`,
+		`sched_kind_latency_bucket{kind="tsqr",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Series of one family sort by label set: bad_spec before queue_full.
+	if strings.Index(out, `reason="bad_spec"`) > strings.Index(out, `reason="queue_full"`) {
+		t.Error("label series not sorted within family")
+	}
+}
+
+// TestValidatePrometheusRejects feeds the validator hand-built format
+// violations.
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_metric 1\n",
+		"bad metric name":     "# TYPE bad-name counter\nbad-name 1\n",
+		"bad TYPE kind":       "# TYPE m foo\nm 1\n",
+		"bad value":           "# TYPE m counter\nm one\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 4\nh_sum 1\nh_count 5\n",
+		"unquoted label": "# TYPE m counter\nm{k=v} 1\n",
+		"duplicate TYPE": "# TYPE m counter\n# TYPE m counter\nm 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidatePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted\n%s", name, in)
+		}
+	}
+	// And the canonical shapes it must accept.
+	good := "# HELP m fine\n# TYPE m counter\nm 1\nm2_total 0\n"
+	if _, err := ValidatePrometheus(strings.NewReader("# TYPE m2_total counter\n" + good)); err == nil {
+		t.Log("accepts reordered TYPE blocks")
+	}
+	if _, err := ValidatePrometheus(strings.NewReader("# TYPE m counter\n# TYPE m2_total counter\nm 1\nm2_total 0\n")); err != nil {
+		t.Errorf("validator rejected valid input: %v", err)
+	}
+}
+
+// TestHistogramString covers the human-readable rendering satellite:
+// bucket boundaries and quantiles, not raw indices.
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if s := h.String(); !strings.Contains(s, "count 0") {
+		t.Fatalf("empty histogram rendering: %q", s)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+	}
+	h.Observe(10)
+	s := h.String()
+	for _, want := range []string{"count 101", "p50 ≤", "p999 ≤", "buckets:", "≤0.00316: 100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("histogram string missing %q: %s", want, s)
+		}
+	}
+	reg := NewRegistry()
+	reg.Histogram("x.seconds").Observe(0.5)
+	if d := reg.Dump(); !strings.Contains(d, "x.seconds\n  count 1") {
+		t.Errorf("registry dump missing histogram detail:\n%s", d)
+	}
+}

@@ -198,6 +198,74 @@ func (h *Histogram) Quantiles(qs []float64) []float64 {
 	return out
 }
 
+// Labels attach dimensions to a metric series: the same base name with
+// different label sets is a family of independent series (per site, per
+// job kind, per rejection reason, ...). A nil or empty map is the plain
+// unlabeled series.
+type Labels map[string]string
+
+// renderLabels serializes a label set canonically (sorted by key) in the
+// exposition syntax, or "" for no labels.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seriesID is the parsed identity of one registered series, kept so the
+// Prometheus exposition can group families without re-parsing keys.
+type seriesID struct {
+	base   string
+	labels Labels
+}
+
+// BucketCounts returns the per-bucket observation counts (index i holds
+// observations ≤ BucketUpper(i); the last bucket also absorbs anything
+// larger).
+func (h *Histogram) BucketCounts() [HistogramBuckets]int64 {
+	var out [HistogramBuckets]int64
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// String renders the histogram for humans: count/mean/max, the standard
+// latency quantiles, and every populated bucket with its boundary —
+// `≤3.16e-05: 42` instead of a raw bucket index.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	n := h.Count()
+	fmt.Fprintf(&b, "count %d  sum %.6g  mean %.6g  max %.6g", n, h.Sum(), h.Mean(), h.Max())
+	if n == 0 {
+		return b.String()
+	}
+	q := h.Quantiles([]float64{0.5, 0.9, 0.99, 0.999})
+	fmt.Fprintf(&b, "\n  p50 ≤ %.3g  p90 ≤ %.3g  p99 ≤ %.3g  p999 ≤ %.3g", q[0], q[1], q[2], q[3])
+	b.WriteString("\n  buckets:")
+	for i, c := range h.BucketCounts() {
+		if c > 0 {
+			fmt.Fprintf(&b, " ≤%.3g: %d", BucketUpper(i), c)
+		}
+	}
+	return b.String()
+}
+
 // Registry names and owns a set of metrics. Lookup takes a mutex but is
 // meant to happen once per instrument site (resolve the handle, then
 // update through atomics); the update path never locks.
@@ -206,6 +274,8 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	series     map[string]seriesID // rendered key -> identity
+	help       map[string]string   // base name -> # HELP text
 }
 
 // NewRegistry returns an empty registry.
@@ -214,41 +284,84 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		series:     map[string]seriesID{},
+		help:       map[string]string{},
 	}
 }
 
+// SetHelp registers the # HELP text the Prometheus exposition emits for
+// a metric family (by base name, without labels).
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// note records a series identity under the lock.
+func (r *Registry) note(key, base string, labels Labels) {
+	if _, ok := r.series[key]; ok {
+		return
+	}
+	var cp Labels
+	if len(labels) > 0 {
+		cp = make(Labels, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+	}
+	r.series[key] = seriesID{base: base, labels: cp}
+}
+
 // Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+func (r *Registry) Counter(name string) *Counter { return r.CounterL(name, nil) }
+
+// CounterL returns the counter series with the given base name and
+// labels, creating it on first use.
+func (r *Registry) CounterL(name string, labels Labels) *Counter {
+	key := name + renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
+		r.note(key, name, labels)
 	}
 	return c
 }
 
 // Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeL(name, nil) }
+
+// GaugeL returns the gauge series with the given base name and labels,
+// creating it on first use.
+func (r *Registry) GaugeL(name string, labels Labels) *Gauge {
+	key := name + renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
+		r.note(key, name, labels)
 	}
 	return g
 }
 
 // Histogram returns the named histogram, creating it on first use.
-func (r *Registry) Histogram(name string) *Histogram {
+func (r *Registry) Histogram(name string) *Histogram { return r.HistogramL(name, nil) }
+
+// HistogramL returns the histogram series with the given base name and
+// labels, creating it on first use.
+func (r *Registry) HistogramL(name string, labels Labels) *Histogram {
+	key := name + renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.histograms[name]
+	h, ok := r.histograms[key]
 	if !ok {
 		h = &Histogram{}
-		r.histograms[name] = h
+		r.histograms[key] = h
+		r.note(key, name, labels)
 	}
 	return h
 }
@@ -296,6 +409,29 @@ func (r *Registry) String() string {
 		} else {
 			fmt.Fprintf(&b, "%-40s %-10s %14.6g\n", m.Name, m.Kind, m.Value)
 		}
+	}
+	return b.String()
+}
+
+// Dump renders the snapshot table followed by the full per-histogram
+// detail (bucket boundaries and quantiles) — the human-readable registry
+// dump behind the -metrics flag.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	b.WriteString(r.String())
+	r.mu.Lock()
+	names := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	hists := make([]*Histogram, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		hists[i] = r.histograms[name]
+	}
+	r.mu.Unlock()
+	for i, name := range names {
+		fmt.Fprintf(&b, "\n%s\n  %s\n", name, hists[i].String())
 	}
 	return b.String()
 }
