@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline benchkern baseline-kern
+.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline benchkern baseline-kern scale
 
 build:
 	$(GO) build ./...
@@ -29,11 +29,21 @@ check: build vet fmt-check test race
 
 # Perf-regression gate: re-run the standard benchmark set and fail on
 # any drift from the committed baseline (message/flop counts exact,
-# bytes and simulated seconds within tight relative tolerance).
-BASELINE ?= results/BENCH_7.json
+# bytes and simulated seconds within tight relative tolerance). The
+# committed scale sweep is gated up to SCALE_MAX_RANKS ranks; the
+# nightly job sets 0 to re-run the full 32k sweep.
+BASELINE ?= results/BENCH_8.json
+SCALE_MAX_RANKS ?= 4096
 
 perfgate:
-	$(GO) run ./cmd/gridbench -baseline $(BASELINE)
+	$(GO) run ./cmd/gridbench -baseline $(BASELINE) -scale-max-ranks $(SCALE_MAX_RANKS)
+
+# Cost-only scale smoke: the 4k-rank event-engine sweep plus the scale
+# test suite, the same check the CI `scale` job runs under a wall-clock
+# budget (see .github/workflows/ci.yml).
+scale:
+	$(GO) run ./cmd/gridbench -scale -ranks 4096
+	$(GO) test -run 'TestScale' -v ./internal/bench
 
 # Regenerate the committed baseline after an intentional change to the
 # algorithms' communication or computation structure.

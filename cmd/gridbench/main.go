@@ -48,6 +48,10 @@ func main() {
 	verbose := flag.Bool("v", false, "with -serve: structured per-job lifecycle logs (log/slog) on stderr")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "with -serve: how long SIGINT/SIGTERM shutdown waits for in-flight jobs before exiting nonzero")
 	overlap := flag.Bool("overlap", false, "use the compute/communication-overlap variants in the traced benchmark (-trace/-metrics)")
+	scale := flag.Bool("scale", false, "run the 1k-32k-rank event-engine scale sweep on the synthetic hierarchical platform and print the tree-shape comparison")
+	ranks := flag.Int("ranks", 0, "with -scale/-json: cap the sweep at this rank count (0 = the full 1024,4096,16384,32768 sweep)")
+	treeFlag := flag.String("tree", "", "with -scale: restrict the sweep to one reduction tree (grid, binary, flat, binary-shuffled, multi-level; empty = all)")
+	scaleMaxRanks := flag.Int("scale-max-ranks", 4096, "with -baseline: gate committed scale runs only up to this rank count (0 = gate the full sweep, the nightly setting)")
 	flag.Parse()
 	if *faults {
 		*fig = "faults"
@@ -100,12 +104,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scale {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		trees := []core.Tree(nil)
+		if *treeFlag != "" {
+			t, err := core.ParseTree(*treeFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+				os.Exit(2)
+			}
+			trees = []core.Tree{t}
+		}
+		fmt.Println(bench.FormatScale(bench.ScaleStudy(*ranks, trees)))
+	}
 	if *baseline != "" {
 		ran = true
 		if *fig == "all" {
 			*fig = ""
 		}
-		if !perfGate(g, *baseline, platformName(*platform)) {
+		if !perfGate(g, *baseline, platformName(*platform), *scaleMaxRanks) {
 			os.Exit(1)
 		}
 	}
@@ -118,6 +138,7 @@ func main() {
 		rep.Serving = bench.BuildServingRuns(g)
 		to := bench.TraceOverheadStudy(g)
 		rep.TraceOverhead = &to
+		rep.Scale = bench.ScaleStudy(*ranks, nil)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -401,8 +422,9 @@ func platformName(path string) string {
 
 // perfGate re-runs the standard benchmark set and compares it against
 // the committed baseline report; it prints every drift line and returns
-// false if any metric moved beyond tolerance.
-func perfGate(g *grid.Grid, baselinePath, platform string) bool {
+// false if any metric moved beyond tolerance. Committed scale runs are
+// re-run and gated only up to scaleMaxRanks (0 = all of them).
+func perfGate(g *grid.Grid, baselinePath, platform string, scaleMaxRanks int) bool {
 	f, err := os.Open(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -422,7 +444,10 @@ func perfGate(g *grid.Grid, baselinePath, platform string) bool {
 		to := bench.TraceOverheadStudy(g)
 		got.TraceOverhead = &to
 	}
-	diffs := bench.CompareReports(got, want, bench.Tolerances{})
+	if len(want.Scale) > 0 {
+		got.Scale = bench.ScaleStudy(scaleMaxRanks, nil)
+	}
+	diffs := bench.CompareReports(got, want, bench.Tolerances{ScaleMaxRanks: scaleMaxRanks})
 	if len(diffs) == 0 {
 		fmt.Printf("perf gate: %d baseline runs match within tolerance\n", len(want.Runs))
 		return true

@@ -25,6 +25,11 @@ type Tolerances struct {
 	// (default 10 — looser than the 5% acceptance target because CI
 	// hosts are noisy; the measured value is recorded in the baseline).
 	MaxTraceOverheadPct float64
+	// ScaleMaxRanks skips baseline scale runs above this rank count
+	// (0 = gate every recorded point). The PR gate sets 4096 so the
+	// committed 32k points don't have to be re-run on every push; the
+	// nightly job gates the full sweep.
+	ScaleMaxRanks int
 }
 
 func (t Tolerances) withDefaults() Tolerances {
@@ -104,6 +109,54 @@ func CompareReports(got, want Report, tol Tolerances) []string {
 	}
 	diffs = append(diffs, compareServing(got.Serving, want.Serving, tol, relOff)...)
 	diffs = append(diffs, compareTraceOverhead(got.TraceOverhead, want.TraceOverhead, tol)...)
+	diffs = append(diffs, compareScale(got.Scale, want.Scale, tol, relOff)...)
+	return diffs
+}
+
+// compareScale diffs the scale sweep's deterministic fields — virtual
+// seconds, message counts and volumes come from the event engine's fixed
+// dispatch order, so they gate like any other simulated run. Baseline
+// points above tol.ScaleMaxRanks are skipped (the PR gate's budget
+// filter); wall seconds and engine diagnostics are never gated.
+func compareScale(got, want []ScaleRun, tol Tolerances, relOff func(a, b float64) float64) []string {
+	scaleKey := func(r ScaleRun) string {
+		return fmt.Sprintf("scale/%s/%s/ranks=%d/n=%d", r.Algo, r.Tree, r.Ranks, r.N)
+	}
+	byKey := make(map[string]ScaleRun, len(got))
+	for _, r := range got {
+		byKey[scaleKey(r)] = r
+	}
+	var diffs []string
+	for _, w := range want {
+		if tol.ScaleMaxRanks > 0 && w.Ranks > tol.ScaleMaxRanks {
+			continue
+		}
+		key := scaleKey(w)
+		g, ok := byKey[key]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", key))
+			continue
+		}
+		if g.Msgs != w.Msgs {
+			diffs = append(diffs, fmt.Sprintf("%s: msgs %d != baseline %d", key, g.Msgs, w.Msgs))
+		}
+		if g.InterSiteMsgs != w.InterSiteMsgs {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-site msgs %d != baseline %d",
+				key, g.InterSiteMsgs, w.InterSiteMsgs))
+		}
+		if w.InterContinentMsgs >= 0 && g.InterContinentMsgs != w.InterContinentMsgs {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-continent msgs %d != baseline %d",
+				key, g.InterContinentMsgs, w.InterContinentMsgs))
+		}
+		if off := relOff(g.Bytes, w.Bytes); off > tol.RelBytes {
+			diffs = append(diffs, fmt.Sprintf("%s: bytes %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.Bytes, w.Bytes, off, tol.RelBytes))
+		}
+		if off := relOff(g.Seconds, w.Seconds); off > tol.RelSeconds {
+			diffs = append(diffs, fmt.Sprintf("%s: seconds %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.Seconds, w.Seconds, off, tol.RelSeconds))
+		}
+	}
 	return diffs
 }
 

@@ -133,9 +133,12 @@ func Execute(r Run) Measurement {
 		m.Registry = reg
 	}
 	pred := perfmodel.Predictor{G: r.Grid, Sites: r.Sites, DomainsPerCluster: r.DomainsPerCluster}
-	if r.Algo == ScaLAPACK {
+	switch {
+	case r.Algo == ScaLAPACK:
 		m.ModelSeconds = pred.ScaLAPACKTime(r.M, r.N, r.WantQ)
-	} else {
+	case r.Tree == core.TreeMultiLevel:
+		m.ModelSeconds = pred.TSQRTimeMultiLevel(r.M, r.N, r.WantQ)
+	default:
 		m.ModelSeconds = pred.TSQRTime(r.M, r.N, r.WantQ)
 	}
 	m.ModelGflops = perfmodel.Gflops(r.M, r.N, r.WantQ, m.ModelSeconds)

@@ -24,6 +24,11 @@ type Report struct {
 	// TraceOverhead records the ring-collector cost study: span counts
 	// gate exactly, the overhead percentage only against a loose cap.
 	TraceOverhead *TraceOverheadRun `json:"trace_overhead,omitempty"`
+	// Scale holds the 1k–32k-rank event-engine sweep. Virtual seconds
+	// and traffic counts gate (optionally filtered to a rank ceiling so
+	// the PR gate re-runs only the cheap prefix; the nightly job re-runs
+	// all of it); wall seconds and engine diagnostics never gate.
+	Scale []ScaleRun `json:"scale,omitempty"`
 }
 
 // ReportRun is one experiment point of a Report.

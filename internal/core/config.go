@@ -40,6 +40,15 @@ const (
 	// permutation of the domains, modeling the paper's remark that
 	// randomly distributed process ranks make the oblivious tree worse.
 	TreeBinaryShuffled
+	// TreeMultiLevel extends the paper's two-level tuned tree to the full
+	// platform hierarchy: binomial among each node's domains (shared
+	// memory), then among node roots within each cluster (site switch),
+	// then among cluster roots within each continent (wide area), then
+	// among continent roots (inter-continental). On single-continent
+	// grids the last stage is empty and the tree pays the same C−1
+	// inter-cluster messages as TreeGrid, but converts intra-site hops
+	// that TreeGrid routes through the switch into intra-node hops.
+	TreeMultiLevel
 )
 
 func (t Tree) String() string {
@@ -52,9 +61,21 @@ func (t Tree) String() string {
 		return "flat"
 	case TreeBinaryShuffled:
 		return "binary-shuffled"
+	case TreeMultiLevel:
+		return "multi-level"
 	default:
 		return fmt.Sprintf("Tree(%d)", int(t))
 	}
+}
+
+// ParseTree is String's inverse, for command-line flags.
+func ParseTree(s string) (Tree, error) {
+	for _, t := range []Tree{TreeGrid, TreeBinary, TreeFlat, TreeBinaryShuffled, TreeMultiLevel} {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown tree %q (want grid, binary, flat, binary-shuffled or multi-level)", s)
 }
 
 // Config controls a QCG-TSQR run.

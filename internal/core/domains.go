@@ -9,9 +9,11 @@ import (
 // domain is one TSQR leaf: a consecutive group of comm ranks jointly
 // factoring a contiguous block of global rows.
 type domain struct {
-	id      int   // global domain index
-	cluster int   // geographical site
-	ranks   []int // comm ranks, leader first
+	id        int   // global domain index
+	cluster   int   // geographical site (layout-local index)
+	node      int   // grid-global node index of the leader rank
+	continent int   // continent of the domain's site
+	ranks     []int // comm ranks, leader first
 }
 
 func (d domain) leader() int { return d.ranks[0] }
@@ -57,7 +59,12 @@ func buildLayout(comm *mpi.Comm, domainsPerCluster int) *layout {
 		}
 		size := len(ranks) / d
 		for i := 0; i < d; i++ {
-			dom := domain{id: len(l.domains), cluster: c, ranks: ranks[i*size : (i+1)*size]}
+			dom := domain{
+				id: len(l.domains), cluster: c,
+				ranks:     ranks[i*size : (i+1)*size],
+				node:      comm.NodeOf(ranks[i*size]),
+				continent: comm.ContinentOf(ranks[i*size]),
+			}
 			l.perCluster[c] = append(l.perCluster[c], dom.id)
 			for _, r := range dom.ranks {
 				l.ofRank[r] = dom.id

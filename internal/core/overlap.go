@@ -51,16 +51,16 @@ func overlapSchedule(l *layout) (ms []merge, root int) {
 	return ms, roots[0]
 }
 
-// combineOverlap is the leader's forward pass over the schedule using the
-// nonblocking runtime: all incoming transfers are posted before the first
-// merge, then completed in schedule order so each stacked-triangle QR
-// overlaps the later transfers still in flight. Valid for every schedule
-// this package builds, because each leader's incoming merges all precede
-// its single outgoing send in schedule order. The merge log, tags and
-// the outgoing destination are identical to the blocking pass, so the
-// backward Q-construction pass needs no variant.
+// combineOverlap is the leader's forward pass over its slice of the
+// schedule using the nonblocking runtime: all incoming transfers are
+// posted before the first merge, then completed in schedule order so each
+// stacked-triangle QR overlaps the later transfers still in flight. Valid
+// for every schedule this package builds, because each leader's incoming
+// merges all precede its single outgoing send in schedule order. The
+// merge log, tags and the outgoing destination are identical to the
+// blocking pass, so the backward Q-construction pass needs no variant.
 func combineOverlap(comm *mpi.Comm, in Input, l *layout, dom domain,
-	sched []merge, r *matrix.Dense) (*matrix.Dense, []mergeRec, int, int) {
+	merges []domMerge, r *matrix.Dense) (*matrix.Dense, []mergeRec, int, int) {
 	ctx := comm.Ctx()
 	type pending struct {
 		src, tag int
@@ -68,14 +68,11 @@ func combineOverlap(comm *mpi.Comm, in Input, l *layout, dom domain,
 	}
 	var incoming []pending
 	sentTo, sentTag := -1, -1
-	for tag, m := range sched {
-		switch {
-		case m.dst == dom.id:
-			incoming = append(incoming, pending{src: l.domains[m.src].leader(), tag: tag})
-		case m.src == dom.id:
-			sentTo, sentTag = l.domains[m.dst].leader(), tag
-		}
-		if sentTag >= 0 {
+	for _, dm := range merges {
+		if dm.m.dst == dom.id {
+			incoming = append(incoming, pending{src: l.domains[dm.m.src].leader(), tag: dm.tag})
+		} else {
+			sentTo, sentTag = l.domains[dm.m.dst].leader(), dm.tag
 			break // my R will be absorbed there; nothing arrives after
 		}
 	}

@@ -36,6 +36,8 @@ func buildSchedule(tree Tree, l *layout, seed int64) (ms []merge, root int) {
 		rng := rand.New(rand.NewSource(seed))
 		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		return binomialSchedule(ids), ids[0]
+	case TreeMultiLevel:
+		return multiLevelSchedule(l)
 	default:
 		panic("core: unknown tree")
 	}
@@ -71,4 +73,59 @@ func gridSchedule(l *layout) []merge {
 	}
 	ms = append(ms, binomialSchedule(roots)...)
 	return ms
+}
+
+// groupBy splits an ordered domain-id list into consecutive runs with
+// equal key, preserving order — the same run-grouping buildLayout applies
+// to ranks, one hierarchy level up.
+func groupBy(ids []int, key func(id int) int) [][]int {
+	var groups [][]int
+	last := 0
+	for i, id := range ids {
+		if i == 0 || key(id) != last {
+			groups = append(groups, nil)
+			last = key(id)
+		}
+		groups[len(groups)-1] = append(groups[len(groups)-1], id)
+	}
+	return groups
+}
+
+// multiLevelSchedule reduces along the full platform hierarchy, one
+// binomial stage per level from the bottom up:
+//
+//	domains sharing a node → node roots within a cluster →
+//	cluster roots within a continent → continent roots.
+//
+// Each stage's merges ride a strictly cheaper network class than the
+// next, so the schedule pays exactly sites−continents inter-site and
+// continents−1 inter-continental messages. Stages are emitted in order,
+// which keeps every domain's incoming merges ahead of its single
+// outgoing send (each binomial stage absorbs a domain at most once, and
+// an absorbed domain never re-appears upstream).
+func multiLevelSchedule(l *layout) (ms []merge, root int) {
+	var clusterRoots []int
+	for _, ids := range l.perCluster {
+		if len(ids) == 0 {
+			continue
+		}
+		// Stage 1: binomial among each node's domains, on shared memory.
+		var nodeRoots []int
+		for _, nodeIDs := range groupBy(ids, func(id int) int { return l.domains[id].node }) {
+			ms = append(ms, binomialSchedule(nodeIDs)...)
+			nodeRoots = append(nodeRoots, nodeIDs[0])
+		}
+		// Stage 2: binomial among the cluster's node roots, on the switch.
+		ms = append(ms, binomialSchedule(nodeRoots)...)
+		clusterRoots = append(clusterRoots, nodeRoots[0])
+	}
+	// Stage 3: binomial among cluster roots within each continent.
+	var continentRoots []int
+	for _, contIDs := range groupBy(clusterRoots, func(id int) int { return l.domains[id].continent }) {
+		ms = append(ms, binomialSchedule(contIDs)...)
+		continentRoots = append(continentRoots, contIDs[0])
+	}
+	// Stage 4: binomial among continent roots, over the widest links.
+	ms = append(ms, binomialSchedule(continentRoots)...)
+	return ms, continentRoots[0]
 }

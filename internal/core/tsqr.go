@@ -29,23 +29,17 @@ const (
 func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	in.validate(comm)
 	ctx := comm.Ctx()
-	l := buildLayout(comm, cfg.DomainsPerCluster)
-	for _, d := range l.domains {
-		rows := in.Offsets[d.ranks[len(d.ranks)-1]+1] - in.Offsets[d.leader()]
-		if rows < in.N {
-			panic(fmt.Sprintf("core: domain %d has %d rows < N=%d (matrix not tall enough for this decomposition)",
-				d.id, rows, in.N))
-		}
-	}
-	var sched []merge
-	var rootDom int
-	if cfg.Overlap && cfg.Tree == TreeGrid {
-		sched, rootDom = overlapSchedule(l)
-	} else {
-		sched, rootDom = buildSchedule(cfg.Tree, l, cfg.ShuffleSeed)
-	}
+	cs := scheduleFor(comm, cfg)
+	l, rootDom := cs.l, cs.rootDom
 	me := comm.Rank()
 	dom := l.mine(me)
+	// Every rank checks its own domain's height; collectively that covers
+	// all domains (checking the whole decomposition per rank would cost
+	// O(domains) at every rank — quadratic work at scale).
+	if rows := in.Offsets[dom.ranks[len(dom.ranks)-1]+1] - in.Offsets[dom.leader()]; rows < in.N {
+		panic(fmt.Sprintf("core: domain %d has %d rows < N=%d (matrix not tall enough for this decomposition)",
+			dom.id, rows, in.N))
+	}
 
 	leafDone := ctx.Phase("tsqr.panel")
 	leaf := factorLeaf(comm, in, dom, cfg)
@@ -60,11 +54,11 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 	if me == dom.leader() {
 		combineDone := ctx.Phase("tsqr.combine")
 		if cfg.Overlap {
-			r, log, sentTo, sentTag = combineOverlap(comm, in, l, dom, sched, r)
+			r, log, sentTo, sentTag = combineOverlap(comm, in, l, dom, cs.perDom[dom.id], r)
 		} else {
-			for tag, m := range sched {
-				switch {
-				case m.dst == dom.id:
+			for _, dm := range cs.perDom[dom.id] {
+				tag, m := dm.tag, dm.m
+				if m.dst == dom.id {
 					src := l.domains[m.src].leader()
 					rec := mergeRec{partner: src, tag: tag}
 					if ctx.HasData() {
@@ -75,7 +69,7 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 					}
 					ctx.ChargeKernel("stack_qr", flops.StackQR(in.N), in.N)
 					log = append(log, rec)
-				case m.src == dom.id:
+				} else {
 					dst := l.domains[m.dst].leader()
 					if ctx.HasData() {
 						comm.Send(dst, packTriu(r), rTagBase+tag)
@@ -83,8 +77,6 @@ func Factorize(comm *mpi.Comm, in Input, cfg Config) *Result {
 						comm.SendBytes(dst, triuBytes(in.N), rTagBase+tag)
 					}
 					sentTo, sentTag = dst, tag
-				}
-				if sentTag >= 0 {
 					break // my R has been absorbed; forward pass over
 				}
 			}

@@ -32,6 +32,11 @@ type Cluster struct {
 	// simulator (mpi.PlanFromFailureRates) converts this into per-run
 	// death probabilities over a time horizon.
 	FailureRate float64
+	// Continent groups sites into a coarser geographical level for
+	// multi-level reduction trees (node → cluster → continent). Zero for
+	// every cluster — the single-continent platforms of the paper —
+	// leaves the two-level structure unchanged.
+	Continent int
 }
 
 // Procs returns the number of processors (MPI processes — the paper runs
@@ -89,6 +94,31 @@ func (g *Grid) Place(rank int) (cluster, node, slot int) {
 func (g *Grid) ClusterOf(rank int) int {
 	c, _, _ := g.Place(rank)
 	return c
+}
+
+// NodeIndexOf returns a rank's node as a single grid-global index
+// (nodes numbered cluster-major), so callers can group ranks by
+// physical node without tracking (cluster, node) pairs.
+func (g *Grid) NodeIndexOf(rank int) int {
+	c, n, _ := g.Place(rank)
+	base := 0
+	for i := 0; i < c; i++ {
+		base += g.Clusters[i].Nodes
+	}
+	return base + n
+}
+
+// ContinentOf returns the continent of a cluster (0 unless the platform
+// sets Cluster.Continent).
+func (g *Grid) ContinentOf(cluster int) int { return g.Clusters[cluster].Continent }
+
+// Continents returns the number of distinct continents on the grid.
+func (g *Grid) Continents() int {
+	seen := map[int]bool{}
+	for _, c := range g.Clusters {
+		seen[c.Continent] = true
+	}
+	return len(seen)
 }
 
 // LinkClass identifies which network a message traverses; the simulator

@@ -21,12 +21,18 @@ type Comm struct {
 }
 
 // WorldComm returns the communicator spanning all ranks, with comm rank
-// equal to world rank.
+// equal to world rank. The member table is built once per world and
+// shared by every rank: at tens of thousands of ranks a per-rank copy
+// would cost O(ranks²) memory for a table whose content is just the
+// identity.
 func WorldComm(ctx *Ctx) *Comm {
-	members := make([]int, ctx.Size())
-	for i := range members {
-		members[i] = i
-	}
+	members := ctx.world.Shared("worldcomm.members", func() any {
+		m := make([]int, ctx.Size())
+		for i := range m {
+			m[i] = i
+		}
+		return m
+	}).([]int)
 	return &Comm{ctx: ctx, path: "w", members: members, rank: ctx.Rank()}
 }
 
@@ -52,6 +58,25 @@ func (c *Comm) Cluster() int { return c.ctx.Cluster() }
 func (c *Comm) ClusterOf(r int) int {
 	return c.ctx.world.g.ClusterOf(c.members[r])
 }
+
+// NodeOf returns the grid-global node index of a comm rank (nodes
+// numbered cluster-major), the finest level of the platform hierarchy.
+func (c *Comm) NodeOf(r int) int {
+	return c.ctx.world.g.NodeIndexOf(c.members[r])
+}
+
+// ContinentOf returns the continent of a comm rank's site, the coarsest
+// level of the platform hierarchy (always 0 on single-continent grids).
+func (c *Comm) ContinentOf(r int) int {
+	g := c.ctx.world.g
+	return g.ContinentOf(g.ClusterOf(c.members[r]))
+}
+
+// Path returns the communicator's tag-namespace path. It is identical on
+// every member rank and unique per communicator tree node, which makes it
+// a usable key for world-level caches of communicator-derived structures
+// (see World.Shared).
+func (c *Comm) Path() string { return c.path }
 
 // checkTag rejects negative user tags: tags < 0 are reserved for the
 // communicator's own collective traffic, and a user message carrying one

@@ -239,7 +239,7 @@ func (c *Ctx) sendE(to int, comm string, tag int, data []float64, bytes float64)
 	} else if extra > 0 {
 		time.Sleep(time.Duration(extra * float64(time.Second)))
 	}
-	c.world.boxes[to].put(m)
+	c.world.eng.deliver(to, m)
 	return nil
 }
 
@@ -306,7 +306,7 @@ func (c *Ctx) recvE(from int, comm string, tag int, timeout time.Duration) (mess
 			timeout = c.world.plan.RecvTimeout
 		}
 	}
-	m, err := c.world.boxes[c.rank].takeWait(from, comm, tag, isDead, timeout)
+	m, err := c.world.eng.receive(c.rank, from, comm, tag, isDead, timeout)
 	if err != nil {
 		return message{}, err
 	}

@@ -116,7 +116,11 @@ func (r *Request) Test() (bool, error) {
 	if w.virtual {
 		now = w.clocks[ctx.rank]
 	}
-	m, ok, queued := w.boxes[ctx.rank].tryTake(from, r.c.path, r.tag, now, w.virtual)
+	// The probe goes through the engine: on the goroutine runtime it is
+	// a plain mailbox tryTake, on the event engine the failed probe also
+	// yields the cooperative scheduler slot (a poll loop would otherwise
+	// starve the very sender it is polling for).
+	m, ok, queued := w.eng.poll(ctx.rank, from, r.c.path, r.tag, now, w.virtual)
 	if ok {
 		ctx.completeRecv(m, from, r.tag)
 		r.done = true

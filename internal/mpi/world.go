@@ -3,8 +3,12 @@
 // communicators with binomial-tree collectives, and communicator
 // splitting — the subset of MPI the paper's implementation uses.
 //
-// A World runs one goroutine per rank. Two execution modes share all the
-// algorithm code:
+// A World drives one rank body per processor, over one of two
+// interchangeable engines: a goroutine-per-rank runtime (real time and
+// data-bearing virtual runs) or a discrete-event simulator built on
+// internal/simnet (cost-only virtual runs, where it lifts the practical
+// ceiling from hundreds of ranks to tens of thousands). Two execution
+// modes share all the algorithm code:
 //
 //   - real mode: messages move between goroutines and time is wall-clock
 //     time, for in-process parallel execution and correctness tests;
@@ -39,7 +43,8 @@ type World struct {
 	g                *grid.Grid
 	virtual          bool
 	hasData          bool
-	boxes            []*mailbox
+	forceGoroutines  bool
+	eng              engine
 	clocks           []float64 // virtual seconds, one per rank; owner-goroutine access during Run
 	compute          []float64 // virtual seconds each rank spent computing
 	wait             [][3]float64
@@ -63,6 +68,13 @@ type World struct {
 	dead        []atomic.Bool
 	faultMu     sync.Mutex
 	faultCounts FaultCounts
+
+	// shared holds values computed once and read by every rank (world
+	// communicator member tables, reduction schedules): structures that
+	// would otherwise cost O(ranks) memory *per rank*, which is what
+	// made runs beyond a few thousand ranks blow up quadratically.
+	sharedMu sync.Mutex
+	shared   map[string]any
 }
 
 // Option configures a World.
@@ -74,9 +86,18 @@ func Virtual() Option { return func(w *World) { w.virtual = true } }
 
 // CostOnly implies Virtual and additionally tells algorithms not to
 // materialize or compute local data (Ctx.HasData reports false).
+// Cost-only worlds run on the discrete-event engine unless
+// GoroutineEngine is also given.
 func CostOnly() Option {
 	return func(w *World) { w.virtual = true; w.hasData = false }
 }
+
+// GoroutineEngine forces the goroutine-per-rank runtime even for a
+// cost-only world. Rank bodies that block on Go primitives external to
+// the world (channels fed by other goroutines, as the job scheduler's
+// executors do) need it: the event engine schedules ranks cooperatively
+// and a rank blocked outside the Comm API would stall the simulation.
+func GoroutineEngine() Option { return func(w *World) { w.forceGoroutines = true } }
 
 // Slowdown scales one rank's virtual compute rate by 1/factor — a
 // background-loaded or slower machine, the volatility of the desktop
@@ -167,10 +188,6 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 		}
 		w.slowdown[ps.rank] = ps.factor
 	}
-	w.boxes = make([]*mailbox, w.n)
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
 	w.clocks = make([]float64, w.n)
 	w.compute = make([]float64, w.n)
 	w.wait = make([][3]float64, w.n)
@@ -205,6 +222,12 @@ func NewWorld(g *grid.Grid, opts ...Option) *World {
 			w.fstate[i].fires = make([]int, len(w.plan.rules))
 		}
 	}
+	w.shared = make(map[string]any)
+	if w.virtual && !w.hasData && !w.forceGoroutines {
+		w.eng = newEventEngine(w)
+	} else {
+		w.eng = newGoroutineEngine(w)
+	}
 	return w
 }
 
@@ -214,47 +237,51 @@ func (w *World) Size() int { return w.n }
 // Virtual reports whether the world runs on simulated time.
 func (w *World) Virtual() bool { return w.virtual }
 
+// EventDriven reports whether this world runs on the discrete-event
+// engine (cost-only worlds without GoroutineEngine) rather than the
+// goroutine-per-rank runtime.
+func (w *World) EventDriven() bool { return w.eng.kind() == "event" }
+
+// EngineStats returns the event engine's deterministic activity
+// counters and high-water marks; zero-valued on the goroutine engine.
+func (w *World) EngineStats() EngineStats {
+	if e, ok := w.eng.(*eventEngine); ok {
+		return e.engineStats()
+	}
+	return EngineStats{Engine: "goroutine"}
+}
+
+// Shared returns the value stored under key, building and caching it on
+// first use. All ranks observe the same value, so build must be a pure
+// deterministic function (no communication, no rank-dependent state)
+// and callers must treat the result as immutable. It exists to share
+// rank-independent structures — communicator member tables, reduction
+// schedules, data layouts — that at tens of thousands of ranks must not
+// be rebuilt (or worse, stored) once per rank.
+func (w *World) Shared(key string, build func() any) any {
+	w.sharedMu.Lock()
+	defer w.sharedMu.Unlock()
+	if v, ok := w.shared[key]; ok {
+		return v
+	}
+	v := build()
+	w.shared[key] = v
+	return v
+}
+
 // Grid returns the platform description ranks are placed on.
 func (w *World) Grid() *grid.Grid { return w.g }
 
-// Run executes fn concurrently on every rank and blocks until all
-// complete. A panic on any rank is re-raised on the caller after all
-// other ranks are done or stuck senders are drained. A rank killed by the
-// fault plan is not a panic: its goroutine unwinds quietly, the rank is
-// marked dead, and receivers blocked on it observe a RankFailedError.
+// Run executes fn on every rank and blocks until all complete. A panic
+// on any rank is re-raised on the caller after all other ranks are done
+// or stuck receivers are drained. A rank killed by the fault plan is not
+// a panic: its body unwinds quietly, the rank is marked dead, and
+// receivers blocked on it observe a RankFailedError. The execution
+// engine — preemptive goroutines or the cooperative event scheduler —
+// is chosen at NewWorld time and invisible here.
 func (w *World) Run(fn func(*Ctx)) {
 	w.start = time.Now()
-	var wg sync.WaitGroup
-	panics := make([]any, w.n)
-	for r := 0; r < w.n; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					if ks, ok := p.(killSentinel); ok {
-						w.markDead(ks.rank)
-						return
-					}
-					panics[rank] = p
-					// Unblock every rank potentially waiting on us.
-					for _, b := range w.boxes {
-						b.poison()
-					}
-				}
-			}()
-			fn(&Ctx{world: w, rank: rank})
-		}(r)
-	}
-	wg.Wait()
-	for rank, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", rank, p))
-		}
-	}
-	for _, b := range w.boxes {
-		b.unpoison()
-	}
+	w.eng.run(fn)
 }
 
 // markDead flags a rank as failed and wakes every blocked receiver so it
@@ -267,9 +294,7 @@ func (w *World) markDead(rank int) {
 	if w.metrics != nil {
 		w.metrics.kills.Inc()
 	}
-	for _, b := range w.boxes {
-		b.wake()
-	}
+	w.eng.rankDied(rank)
 }
 
 // RankDead reports whether a rank has been killed by the fault plan.

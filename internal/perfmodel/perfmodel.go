@@ -216,6 +216,84 @@ func (p Predictor) TSQRTime(m, n int, wantQ bool) float64 {
 	return t
 }
 
+// TSQRTimeMultiLevel predicts the factorization time under the
+// multi-level reduction tree (core.TreeMultiLevel): Equation 1 composed
+// over the full platform hierarchy, one binomial stage per level —
+// domains within a node on shared memory, node roots within a site on
+// the switch, site roots within a continent on the wide-area links, and
+// continent roots over the inter-continental links. On single-continent
+// grids the last stage vanishes and the prediction reduces to TSQRTime
+// with the intra-cluster stage split between shared memory and switch,
+// which is the whole advantage of descending one more hierarchy level.
+func (p Predictor) TSQRTimeMultiLevel(m, n int, wantQ bool) float64 {
+	sites := p.sites()
+	procs := p.procs()
+	d := p.DomainsPerCluster
+	if d <= 0 {
+		d = procs / sites
+	}
+	domains := d * sites
+	nodes := p.G.Clusters[0].Nodes
+	continents := 1
+	seen := map[int]bool{}
+	for _, c := range p.G.Clusters[:sites] {
+		seen[c.Continent] = true
+	}
+	if len(seen) > continents {
+		continents = len(seen)
+	}
+	intra, inter := p.links()
+	interCont := inter
+	if continents > 1 {
+		// Split the wide-area class: `inter` becomes the worst
+		// same-continent site pair, `interCont` the worst cross-continent
+		// pair (links() lumps them together).
+		inter = intra
+		interCont = intra
+		worse := func(dst *grid.Link, l grid.Link) {
+			if l.Latency > dst.Latency {
+				dst.Latency = l.Latency
+			}
+			if l.Bandwidth < dst.Bandwidth {
+				dst.Bandwidth = l.Bandwidth
+			}
+		}
+		for i := 0; i < sites; i++ {
+			for j := i + 1; j < sites; j++ {
+				if p.G.Clusters[i].Continent == p.G.Clusters[j].Continent {
+					worse(&inter, p.G.Inter[i][j])
+				} else {
+					worse(&interCont, p.G.Inter[i][j])
+				}
+			}
+		}
+	}
+	triBytes := 8 * float64(n) * float64(n+1) / 2
+	group := procs / sites / d
+	t := flops.GEQRF(m/domains, n) / float64(group) / p.rate(n)
+	if group > 1 {
+		t += 2 * float64(n) * flops.Log2(group) * intra.TransferTime(8*float64(n)/2)
+	}
+	mergeCost := flops.StackQR(n) / p.rate(n)
+	perNode := d / nodes
+	if perNode < 1 {
+		perNode = 1
+	}
+	nodeGroups := d
+	if nodeGroups > nodes {
+		nodeGroups = nodes
+	}
+	sitesPerCont := (sites + continents - 1) / continents
+	t += flops.Log2(perNode) * (p.G.IntraNode.TransferTime(triBytes) + mergeCost)
+	t += flops.Log2(nodeGroups) * (intra.TransferTime(triBytes) + mergeCost)
+	t += flops.Log2(sitesPerCont) * (inter.TransferTime(triBytes) + mergeCost)
+	t += flops.Log2(continents) * (interCont.TransferTime(triBytes) + mergeCost)
+	if wantQ {
+		t *= 2 // Property 1
+	}
+	return t
+}
+
 // ScaLAPACKTime predicts the ScaLAPACK QR2 factorization time: 2N
 // allreduces, each a binomial tree spanning all sites, plus the evenly
 // divided factorization flops.

@@ -206,7 +206,12 @@ func Start(cfg Config) *Server {
 	var opts []mpi.Option
 	switch {
 	case cfg.CostOnly:
-		opts = append(opts, mpi.CostOnly())
+		// The serving world must stay on the goroutine runtime even in
+		// cost-only mode: rankMain blocks each rank on a Go channel fed
+		// by the dispatcher, which the cooperative event engine cannot
+		// schedule around (ranks there may only block inside the Comm
+		// API).
+		opts = append(opts, mpi.CostOnly(), mpi.GoroutineEngine())
 	case cfg.Virtual:
 		opts = append(opts, mpi.Virtual())
 	}

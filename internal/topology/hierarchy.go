@@ -1,0 +1,46 @@
+package topology
+
+import (
+	"fmt"
+
+	"gridqr/internal/grid"
+)
+
+// Hierarchy summarizes the platform's communication levels — the
+// structural information a multi-level reduction tree
+// (core.TreeMultiLevel) descends through. It is the topology-aware
+// middleware's answer to "how many stages does a hierarchy-respecting
+// reduction need, and over which network class is each stage paid".
+type Hierarchy struct {
+	Continents int // coarsest level (1 on the paper's platforms)
+	Sites      int // geographical clusters
+	Nodes      int // total nodes across all sites
+	Procs      int // total processes (one per processor)
+}
+
+// HierarchyOf derives the level structure of a grid.
+func HierarchyOf(g *grid.Grid) Hierarchy {
+	h := Hierarchy{Continents: g.Continents(), Sites: len(g.Clusters), Procs: g.Procs()}
+	for _, c := range g.Clusters {
+		h.Nodes += c.Nodes
+	}
+	return h
+}
+
+// Levels lists the non-degenerate levels top-down, each with its
+// branching factor — e.g. "2 continents / 4 sites / 128 nodes / 1024
+// procs". Degenerate levels (a single continent, one node per site)
+// are still listed; a reduction stage over a single group is free.
+func (h Hierarchy) Levels() []string {
+	return []string{
+		fmt.Sprintf("%d continents", h.Continents),
+		fmt.Sprintf("%d sites", h.Sites),
+		fmt.Sprintf("%d nodes", h.Nodes),
+		fmt.Sprintf("%d procs", h.Procs),
+	}
+}
+
+// String renders the hierarchy as a compact slash-separated path.
+func (h Hierarchy) String() string {
+	return fmt.Sprintf("%d/%d/%d/%d", h.Continents, h.Sites, h.Nodes, h.Procs)
+}
