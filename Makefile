@@ -14,7 +14,7 @@ test:
 # engine's worker pool must be race-clean; short mode keeps this fast
 # enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched ./internal/blas
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched ./internal/blas ./internal/elastic ./internal/monitor
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,7 @@ check: build vet fmt-check test race
 # bytes and simulated seconds within tight relative tolerance). The
 # committed scale sweep is gated up to SCALE_MAX_RANKS ranks; the
 # nightly job sets 0 to re-run the full 32k sweep.
-BASELINE ?= results/BENCH_8.json
+BASELINE ?= results/BENCH_9.json
 SCALE_MAX_RANKS ?= 4096
 
 perfgate:
@@ -58,6 +58,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDgemv -fuzztime=15s ./internal/blas
 	$(GO) test -fuzz=FuzzDger -fuzztime=15s ./internal/blas
 	$(GO) test -fuzz=FuzzDtrsm -fuzztime=15s ./internal/blas
+	$(GO) test -fuzz=FuzzTraceReplay -fuzztime=15s ./internal/elastic
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

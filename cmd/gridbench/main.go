@@ -19,6 +19,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -44,6 +46,12 @@ func main() {
 	jsonOut := flag.String("json", "", "run the standard benchmark set and write a machine-readable JSON report")
 	baseline := flag.String("baseline", "", "re-run the standard benchmark set and fail if it drifts from this committed JSON report (the CI perf gate)")
 	serve := flag.Bool("serve", false, "run the closed-loop serving benchmark: concurrent TSQR jobs space-shared over site partitions, throughput and latency vs offered load")
+	load := flag.Bool("load", false, "run the open-loop serving benchmark: a trace-driven arrival process with the SLO-driven autoscaler in the loop, latency and shedding vs offered load")
+	arrival := flag.String("arrival", "poisson", "with -load: arrival process (poisson, bursty, diurnal)")
+	ratesFlag := flag.String("rates", "", "with -load: comma-separated offered rates in jobs/s (default the standard ladder)")
+	arrivals := flag.Int("arrivals", bench.LoadArrivals, "with -load: arrivals per load point")
+	queueCap := flag.Int("queue-cap", 0, "with -load: admission queue bound; arrivals past it are shed typed (0 = default)")
+	noAutoscale := flag.Bool("no-autoscale", false, "with -load: pin the plan to the ladder's lowest level instead of autoscaling")
 	listen := flag.String("listen", "", "with -serve: expose the monitoring endpoint (/metrics, /healthz, /jobs, /trace, /debug/pprof) on this address, e.g. 127.0.0.1:9090")
 	verbose := flag.Bool("v", false, "with -serve: structured per-job lifecycle logs (log/slog) on stderr")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "with -serve: how long SIGINT/SIGTERM shutdown waits for in-flight jobs before exiting nonzero")
@@ -55,6 +63,18 @@ func main() {
 	flag.Parse()
 	if *faults {
 		*fig = "faults"
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	cli := serveFlags{
+		serve: *serve, load: *load, listen: *listen, drainTimeout: *drainTimeout,
+		verbose: *verbose, arrival: *arrival, rates: *ratesFlag,
+		arrivals: *arrivals, queueCap: *queueCap, noAutoscale: *noAutoscale,
+	}
+	if err := validateServeFlags(set, cli); err != nil {
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	g := grid.Grid5000()
@@ -104,6 +124,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *load {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		rates, err := parseRates(*ratesFlag)
+		if err != nil { // unreachable: validateServeFlags already parsed it
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(2)
+		}
+		n := *arrivals
+		if *quick {
+			n = min(n, 40)
+		}
+		if !runLoad(g, *arrival, rates, n, *queueCap, *noAutoscale,
+			*verbose, *listen, *drainTimeout) {
+			os.Exit(1)
+		}
+	}
 	if *scale {
 		ran = true
 		if *fig == "all" {
@@ -139,6 +178,7 @@ func main() {
 		to := bench.TraceOverheadStudy(g)
 		rep.TraceOverhead = &to
 		rep.Scale = bench.ScaleStudy(*ranks, nil)
+		rep.Load = bench.BuildLoadRuns(g)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -373,6 +413,175 @@ func runServe(g *grid.Grid, loads []int, verbose bool, listen string,
 	}
 }
 
+// serveFlags carries the serving-mode CLI surface for validation: which
+// modes were requested plus every flag scoped to them.
+type serveFlags struct {
+	serve, load  bool
+	listen       string
+	drainTimeout time.Duration
+	verbose      bool
+	arrival      string
+	rates        string
+	arrivals     int
+	queueCap     int
+	noAutoscale  bool
+}
+
+// validateServeFlags rejects contradictory serving-flag combinations up
+// front instead of silently proceeding (a -drain-timeout on a figures
+// run, a -rates list with a nonpositive entry, ...). set records which
+// flags the user passed explicitly (flag.Visit), so defaults never
+// trigger scope errors.
+func validateServeFlags(set map[string]bool, f serveFlags) error {
+	serving := f.serve || f.load
+	scoped := []struct {
+		name  string
+		scope string
+		ok    bool
+	}{
+		{"listen", "-serve or -load", serving},
+		{"drain-timeout", "-serve or -load", serving},
+		{"v", "-serve or -load", serving},
+		{"arrival", "-load", f.load},
+		{"rates", "-load", f.load},
+		{"arrivals", "-load", f.load},
+		{"queue-cap", "-load", f.load},
+		{"no-autoscale", "-load", f.load},
+	}
+	for _, s := range scoped {
+		if set[s.name] && !s.ok {
+			return fmt.Errorf("-%s requires %s", s.name, s.scope)
+		}
+	}
+	if set["drain-timeout"] && f.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", f.drainTimeout)
+	}
+	if f.load {
+		switch f.arrival {
+		case "poisson", "bursty", "diurnal":
+		default:
+			return fmt.Errorf("-arrival must be poisson, bursty or diurnal, got %q", f.arrival)
+		}
+		if _, err := parseRates(f.rates); err != nil {
+			return err
+		}
+		if f.arrivals <= 0 {
+			return fmt.Errorf("-arrivals must be positive, got %d", f.arrivals)
+		}
+		if set["queue-cap"] && f.queueCap <= 0 {
+			return fmt.Errorf("-queue-cap must be positive, got %d", f.queueCap)
+		}
+	}
+	return nil
+}
+
+// parseRates parses the -rates list; empty selects the standard ladder.
+func parseRates(s string) ([]float64, error) {
+	if s == "" {
+		return bench.StandardLoadRates, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-rates: bad rate %q", part)
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("-rates: rate must be positive, got %g", r)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+// runLoad drives the open-loop sweep under the same signal-aware
+// context and monitoring endpoint as runServe. It returns false — a
+// nonzero exit — when the study errors, the drain times out, or any
+// admitted job was lost.
+func runLoad(g *grid.Grid, arrival string, rates []float64, arrivals, queueCap int,
+	noAutoscale, verbose bool, listen string, drainTimeout time.Duration) bool {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := bench.LoadOptions{
+		QueueCap:     queueCap,
+		NoAutoscale:  noAutoscale,
+		DrainTimeout: drainTimeout,
+	}
+	if verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	var last struct {
+		sync.Mutex
+		srv *sched.Server
+		reg *telemetry.Registry
+	}
+	swap := monitor.NewSwappable()
+	opts.OnPoint = func(srv *sched.Server, reg *telemetry.Registry) {
+		last.Lock()
+		last.srv, last.reg = srv, reg
+		last.Unlock()
+		swap.Set(monitor.Config{
+			Registry: reg,
+			Jobs:     func() any { return srv.Jobs() },
+			Trace:    srv.TraceTail,
+		})
+	}
+	if listen != "" {
+		mon, err := monitor.StartHandler(listen, swap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			return false
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = mon.Shutdown(sctx)
+			cancel()
+		}()
+		fmt.Printf("monitoring on http://%s/metrics (also /healthz /jobs /trace /debug/pprof)\n\n",
+			mon.Addr())
+	}
+
+	rows, err := bench.LoadStudy(ctx, g, arrival, rates, arrivals, opts)
+	if len(rows) > 0 {
+		fmt.Println(bench.FormatLoad(g, rows))
+	}
+
+	last.Lock()
+	srv := last.srv
+	last.Unlock()
+	if srv != nil {
+		slo := srv.SLO()
+		fmt.Printf("final SLO (last load point): submitted=%d completed=%d failed=%d rejected=%d preempted=%d steals=%d epoch=%d partitions=%d\n",
+			slo.Submitted, slo.Completed, slo.Failed, slo.Rejected,
+			slo.Preempted, slo.Steals, slo.Epoch, slo.Partitions)
+		fmt.Printf("latency p50=%.4gs p99=%.4gs p999=%.4gs; queue wait p50=%.4gs p99=%.4gs\n\n",
+			slo.Latency.P50, slo.Latency.P99, slo.Latency.P999,
+			slo.QueueWait.P50, slo.QueueWait.P99)
+	}
+
+	var lost int64
+	for _, r := range rows {
+		lost += r.Lost
+	}
+	switch {
+	case lost > 0:
+		fmt.Fprintf(os.Stderr, "gridbench: %d admitted job(s) lost\n", lost)
+		return false
+	case err == nil:
+		return true
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("shutdown: drained admitted jobs cleanly after signal (%d load point(s) finished)\n",
+			len(rows))
+		return true
+	default:
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	}
+}
+
 // adaptSweepsTo clamps the paper's sweep parameters to what a custom
 // platform can support: site counts within the cluster count, and domain
 // counts that divide every cluster's processor count.
@@ -446,6 +655,9 @@ func perfGate(g *grid.Grid, baselinePath, platform string, scaleMaxRanks int) bo
 	}
 	if len(want.Scale) > 0 {
 		got.Scale = bench.ScaleStudy(scaleMaxRanks, nil)
+	}
+	if len(want.Load) > 0 {
+		got.Load = bench.BuildLoadRuns(g)
 	}
 	diffs := bench.CompareReports(got, want, bench.Tolerances{ScaleMaxRanks: scaleMaxRanks})
 	if len(diffs) == 0 {

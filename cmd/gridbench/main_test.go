@@ -147,6 +147,133 @@ func TestGridbenchOverlapFigure(t *testing.T) {
 	}
 }
 
+// TestValidateServeFlags tables the serving-flag matrix: scope
+// violations and nonsense values are rejected with a clear error,
+// coherent combinations pass.
+func TestValidateServeFlags(t *testing.T) {
+	base := serveFlags{arrival: "poisson", arrivals: 160, drainTimeout: 30e9}
+	cases := []struct {
+		name    string
+		set     []string
+		mutate  func(*serveFlags)
+		wantErr string
+	}{
+		{name: "defaults", set: nil, mutate: func(f *serveFlags) {}},
+		{name: "serve alone", set: []string{"serve"},
+			mutate: func(f *serveFlags) { f.serve = true }},
+		{name: "load alone", set: []string{"load"},
+			mutate: func(f *serveFlags) { f.load = true }},
+		{name: "serve with listen and drain", set: []string{"serve", "listen", "drain-timeout"},
+			mutate: func(f *serveFlags) { f.serve = true; f.listen = "127.0.0.1:0" }},
+		{name: "load with everything", set: []string{"load", "arrival", "rates", "arrivals", "queue-cap", "no-autoscale", "v"},
+			mutate: func(f *serveFlags) {
+				f.load, f.verbose, f.noAutoscale = true, true, true
+				f.arrival, f.rates, f.arrivals, f.queueCap = "diurnal", "100, 2500", 40, 8
+			}},
+		{name: "drain-timeout without a serving mode", set: []string{"drain-timeout"},
+			mutate: func(f *serveFlags) {}, wantErr: "-drain-timeout requires"},
+		{name: "listen without a serving mode", set: []string{"listen"},
+			mutate: func(f *serveFlags) { f.listen = "127.0.0.1:0" }, wantErr: "-listen requires"},
+		{name: "v without a serving mode", set: []string{"v"},
+			mutate: func(f *serveFlags) { f.verbose = true }, wantErr: "-v requires"},
+		{name: "rates without load", set: []string{"serve", "rates"},
+			mutate:  func(f *serveFlags) { f.serve = true; f.rates = "100" },
+			wantErr: "-rates requires -load"},
+		{name: "arrival without load", set: []string{"arrival"},
+			mutate: func(f *serveFlags) { f.arrival = "bursty" }, wantErr: "-arrival requires -load"},
+		{name: "nonpositive drain-timeout", set: []string{"serve", "drain-timeout"},
+			mutate:  func(f *serveFlags) { f.serve = true; f.drainTimeout = 0 },
+			wantErr: "must be positive"},
+		{name: "unknown arrival process", set: []string{"load"},
+			mutate:  func(f *serveFlags) { f.load = true; f.arrival = "uniform" },
+			wantErr: "poisson, bursty or diurnal"},
+		{name: "nonpositive rate", set: []string{"load", "rates"},
+			mutate:  func(f *serveFlags) { f.load = true; f.rates = "100,-5" },
+			wantErr: "must be positive"},
+		{name: "junk rate", set: []string{"load", "rates"},
+			mutate:  func(f *serveFlags) { f.load = true; f.rates = "fast" },
+			wantErr: "bad rate"},
+		{name: "nonpositive arrivals", set: []string{"load", "arrivals"},
+			mutate:  func(f *serveFlags) { f.load = true; f.arrivals = 0 },
+			wantErr: "-arrivals must be positive"},
+		{name: "nonpositive queue-cap", set: []string{"load", "queue-cap"},
+			mutate:  func(f *serveFlags) { f.load = true; f.queueCap = -1 },
+			wantErr: "-queue-cap must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			set := map[string]bool{}
+			for _, s := range tc.set {
+				set[s] = true
+			}
+			f := base
+			tc.mutate(&f)
+			err := validateServeFlags(set, f)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestGridbenchFlagValidationCLI pins the end-to-end behavior: a
+// contradictory invocation exits nonzero with the validation message
+// before any benchmark work starts.
+func TestGridbenchFlagValidationCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	out, err := exec.Command(bin, "-drain-timeout", "5s").CombinedOutput()
+	if err == nil {
+		t.Fatalf("contradictory flags accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-drain-timeout requires") {
+		t.Fatalf("unhelpful validation error:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-load", "-rates", "0").CombinedOutput()
+	if err == nil {
+		t.Fatalf("nonpositive rate accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "must be positive") {
+		t.Fatalf("unhelpful rate error:\n%s", out)
+	}
+}
+
+// TestGridbenchLoad smoke-runs the open-loop harness CLI on a small
+// platform: the latency-vs-load table renders and no job is lost.
+func TestGridbenchLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration skipped in -short mode")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+	platform := filepath.Join(dir, "p.json")
+	os.WriteFile(platform, []byte(`{
+  "clusters": [
+    {"name": "x", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900},
+    {"name": "y", "nodes": 2, "procsPerNode": 2, "gflops": 3, "latencyMs": 0.05, "mbps": 900}
+  ],
+  "links": [{"from": "x", "to": "y", "latencyMs": 7, "mbps": 90}]
+}`), 0o644)
+	out, err := exec.Command(bin, "-platform", platform, "-load",
+		"-arrival", "diurnal", "-rates", "400", "-arrivals", "24").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-load: %v\n%s", err, out)
+	}
+	for _, want := range []string{"Open-loop serving", "diurnal", "final SLO"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("-load output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestGridbenchUnknownFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI integration skipped in -short mode")

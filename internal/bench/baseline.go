@@ -110,6 +110,53 @@ func CompareReports(got, want Report, tol Tolerances) []string {
 	diffs = append(diffs, compareServing(got.Serving, want.Serving, tol, relOff)...)
 	diffs = append(diffs, compareTraceOverhead(got.TraceOverhead, want.TraceOverhead, tol)...)
 	diffs = append(diffs, compareScale(got.Scale, want.Scale, tol, relOff)...)
+	diffs = append(diffs, compareLoad(got.Load, want.Load, tol, relOff)...)
+	return diffs
+}
+
+// compareLoad diffs the open-loop study's deterministic fields: arrival
+// counts come from the seeded trace, Lost must be zero (an admitted job
+// never silently disappears, under any autoscaling or preemption
+// schedule), and per-job traffic is invariant because every ladder level
+// is built from equal-size partitions. The admission split (completed vs
+// shed), latency quantiles and throughput depend on host timing and are
+// deliberately never gated.
+func compareLoad(got, want []LoadRun, tol Tolerances, relOff func(a, b float64) float64) []string {
+	loadKey := func(r LoadRun) string {
+		return fmt.Sprintf("load/%s/rate=%g", r.Trace, r.RatePerS)
+	}
+	byKey := make(map[string]LoadRun, len(got))
+	for _, r := range got {
+		byKey[loadKey(r)] = r
+	}
+	var diffs []string
+	for _, w := range want {
+		key := loadKey(w)
+		g, ok := byKey[key]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", key))
+			continue
+		}
+		if g.Arrivals != w.Arrivals {
+			diffs = append(diffs, fmt.Sprintf("%s: arrivals %d != baseline %d",
+				key, g.Arrivals, w.Arrivals))
+		}
+		if g.Lost != 0 {
+			diffs = append(diffs, fmt.Sprintf("%s: %d admitted jobs lost", key, g.Lost))
+		}
+		if g.MsgsPerJob != w.MsgsPerJob {
+			diffs = append(diffs, fmt.Sprintf("%s: msgs/job %d != baseline %d",
+				key, g.MsgsPerJob, w.MsgsPerJob))
+		}
+		if g.InterSiteMsgsPerJob != w.InterSiteMsgsPerJob {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-site msgs/job %d != baseline %d",
+				key, g.InterSiteMsgsPerJob, w.InterSiteMsgsPerJob))
+		}
+		if off := relOff(g.BytesPerJob, w.BytesPerJob); off > tol.RelBytes {
+			diffs = append(diffs, fmt.Sprintf("%s: bytes/job %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.BytesPerJob, w.BytesPerJob, off, tol.RelBytes))
+		}
+	}
 	return diffs
 }
 

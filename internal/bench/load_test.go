@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"gridqr/internal/grid"
+)
+
+// TestLoadStudySmoke runs one open-loop point on a small grid with the
+// autoscaler in the loop and pins the accounting invariants: every
+// arrival is either admitted or typed-shed, no admitted job is lost, and
+// per-job traffic stays the exact equal-partition figure regardless of
+// how the autoscaler moved the plan during the run.
+func TestLoadStudySmoke(t *testing.T) {
+	g := grid.SmallTestGrid(4, 1, 2) // 4 sites x 2 ranks; ladder 1..2 x 4-rank partitions
+	rows, err := LoadStudy(context.Background(), g, "poisson", []float64{200}, 40, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Trace != "poisson" || r.Arrivals != 40 {
+		t.Fatalf("trace=%q arrivals=%d, want poisson/40", r.Trace, r.Arrivals)
+	}
+	if r.Submitted+r.Shed != int64(r.Arrivals) {
+		t.Errorf("submitted %d + shed %d != arrivals %d", r.Submitted, r.Shed, r.Arrivals)
+	}
+	if r.Lost != 0 || r.Failed != 0 {
+		t.Errorf("lost=%d failed=%d, want 0/0", r.Lost, r.Failed)
+	}
+	if r.Completed < 1 {
+		t.Errorf("no jobs completed")
+	}
+	// A 4-rank two-site partition serves each TSQR with exactly 3 merge
+	// messages, 1 of them inter-site — invariant across ladder levels.
+	if r.MsgsPerJob != 3 || r.InterSiteMsgsPerJob != 1 {
+		t.Errorf("msgs/job=%d inter/job=%d, want 3/1", r.MsgsPerJob, r.InterSiteMsgsPerJob)
+	}
+	if r.BytesPerJob <= 0 || r.ThroughputJPS <= 0 {
+		t.Errorf("bytes/job=%g throughput=%g, want positive", r.BytesPerJob, r.ThroughputJPS)
+	}
+	if out := FormatLoad(g, rows); !strings.Contains(out, "poisson") {
+		t.Errorf("FormatLoad missing trace row:\n%s", out)
+	}
+}
+
+// TestLoadShedding drives offered load far past any capacity the small
+// grid can have: the bounded queue must shed typed (never losing an
+// admitted job), which is the overload-knee behavior the study exists to
+// expose.
+func TestLoadSheddingPastKnee(t *testing.T) {
+	g := grid.SmallTestGrid(2, 1, 2)
+	rows, err := LoadStudy(context.Background(), g, "bursty", []float64{500000}, 80,
+		LoadOptions{QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Shed == 0 {
+		t.Error("overloaded run shed nothing; knee not reached")
+	}
+	if r.Submitted+r.Shed != int64(r.Arrivals) {
+		t.Errorf("submitted %d + shed %d != arrivals %d", r.Submitted, r.Shed, r.Arrivals)
+	}
+	if r.Lost != 0 {
+		t.Errorf("lost %d admitted jobs under overload", r.Lost)
+	}
+}
+
+// TestLoadStudyCancel pins the ctx contract: cancellation stops the
+// arrival process, admitted jobs are still drained, and the partial rows
+// come back with ctx's error.
+func TestLoadStudyCancel(t *testing.T) {
+	g := grid.SmallTestGrid(2, 1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := LoadStudy(ctx, g, "poisson", []float64{100, 100}, 1000, LoadOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range rows {
+		if r.Lost != 0 {
+			t.Errorf("canceled run lost %d jobs", r.Lost)
+		}
+	}
+}
+
+// TestLoadLadder pins the ladder shapes: paired-site equal partitions
+// doubling per level on even-site grids, per-site fallback otherwise,
+// and always topping out at the full plan.
+func TestLoadLadder(t *testing.T) {
+	ladder, pred := loadLadder(grid.Grid5000())
+	if len(ladder) != 2 || pred.Sites != 2 {
+		t.Fatalf("Grid5000 ladder levels=%d pred.Sites=%d, want 2/2", len(ladder), pred.Sites)
+	}
+	for lvl, plan := range ladder {
+		if len(plan.Groups) != 1<<lvl {
+			t.Errorf("level %d has %d partitions, want %d", lvl, len(plan.Groups), 1<<lvl)
+		}
+		for _, g := range plan.Groups {
+			if len(g) != 128 {
+				t.Errorf("level %d partition size %d, want 128", lvl, len(g))
+			}
+		}
+	}
+
+	ladder, pred = loadLadder(grid.SmallTestGrid(3, 1, 2)) // odd sites: per-site fallback
+	if pred.Sites != 1 {
+		t.Errorf("odd-site pred.Sites=%d, want 1", pred.Sites)
+	}
+	if top := ladder[len(ladder)-1]; len(top.Groups) != 3 {
+		t.Errorf("odd-site top level has %d partitions, want 3", len(top.Groups))
+	}
+}
+
+func TestMakeTraceValidation(t *testing.T) {
+	if _, err := makeTrace("uniform", 100, 10); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+	for _, name := range []string{"poisson", "bursty", "diurnal"} {
+		tr, err := makeTrace(name, 100, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tr.Name() != name {
+			t.Errorf("trace name %q, want %q", tr.Name(), name)
+		}
+	}
+}
+
+// TestLoadStudyNoAutoscale pins the fixed-plan mode used by A/B runs.
+func TestLoadStudyNoAutoscale(t *testing.T) {
+	g := grid.SmallTestGrid(2, 1, 2)
+	start := time.Now()
+	rows, err := LoadStudy(context.Background(), g, "diurnal", []float64{400}, 20,
+		LoadOptions{NoAutoscale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ScaleUps != 0 || r.ScaleDowns != 0 {
+		t.Errorf("autoscaler acted with NoAutoscale: ups=%d downs=%d", r.ScaleUps, r.ScaleDowns)
+	}
+	if r.Lost != 0 {
+		t.Errorf("lost %d jobs", r.Lost)
+	}
+	if time.Since(start) > time.Minute {
+		t.Errorf("tiny study took %v", time.Since(start))
+	}
+}

@@ -29,6 +29,11 @@ type Report struct {
 	// the PR gate re-runs only the cheap prefix; the nightly job re-runs
 	// all of it); wall seconds and engine diagnostics never gate.
 	Scale []ScaleRun `json:"scale,omitempty"`
+	// Load holds the open-loop trace-driven sweep with the autoscaler in
+	// the loop (PR 9). Arrival counts, the zero-lost invariant and the
+	// per-job traffic gate; the admission split, latency quantiles and
+	// throughput are host-dependent and informational.
+	Load []LoadRun `json:"load,omitempty"`
 }
 
 // ReportRun is one experiment point of a Report.

@@ -1,0 +1,154 @@
+package elastic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func gapsEqual(a, b []time.Duration) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	mk := []func() Trace{
+		func() Trace { return Poisson(100, 50, 7) },
+		func() Trace { return Bursty(100, 4, 10, 50, 7) },
+		func() Trace { return Diurnal(100, 0.8, time.Second, 50, 7) },
+	}
+	for _, f := range mk {
+		a, b := Collect(f(), 100), Collect(f(), 100)
+		if len(a) != 50 {
+			t.Fatalf("%s: got %d gaps, want 50", f().Name(), len(a))
+		}
+		if !gapsEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", f().Name())
+		}
+		for i, g := range a {
+			if g <= 0 {
+				t.Fatalf("%s: gap %d not positive: %v", f().Name(), i, g)
+			}
+		}
+	}
+	if gapsEqual(Collect(Poisson(100, 50, 7), 100), Collect(Poisson(100, 50, 8), 100)) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	const rate, n = 200.0, 4000
+	gaps := Collect(Poisson(rate, n, 1), n)
+	var sum time.Duration
+	for _, g := range gaps {
+		sum += g
+	}
+	mean := sum.Seconds() / float64(n)
+	if math.Abs(mean*rate-1) > 0.1 {
+		t.Errorf("mean gap %v s at rate %v: off by more than 10%%", mean, rate)
+	}
+}
+
+func TestBurstyPhases(t *testing.T) {
+	// With burst factor 8, on-phase gaps are ~64x shorter than off-phase
+	// gaps; compare phase means to confirm the alternation is real.
+	const perPhase = 50
+	gaps := Collect(Bursty(100, 8, perPhase, 4*perPhase, 3), 4*perPhase)
+	phase := func(k int) float64 {
+		var s time.Duration
+		for _, g := range gaps[k*perPhase : (k+1)*perPhase] {
+			s += g
+		}
+		return s.Seconds()
+	}
+	if on, off := phase(0), phase(1); on*4 > off {
+		t.Errorf("on-phase total %v not clearly shorter than off-phase %v", on, off)
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	// Rate swings ±80% over 1s of trace time: arrivals cluster in the
+	// crest and spread in the trough, so consecutive 100-gap windows must
+	// differ substantially in total duration.
+	gaps := Collect(Diurnal(1000, 0.8, time.Second, 1000, 5), 1000)
+	minW, maxW := math.Inf(1), 0.0
+	for w := 0; w+100 <= len(gaps); w += 100 {
+		var s time.Duration
+		for _, g := range gaps[w : w+100] {
+			s += g
+		}
+		minW = math.Min(minW, s.Seconds())
+		maxW = math.Max(maxW, s.Seconds())
+	}
+	if maxW < 1.5*minW {
+		t.Errorf("diurnal windows too uniform: min %v max %v", minW, maxW)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tr := range []Trace{
+		Poisson(250, 100, 11),
+		Bursty(250, 4, 10, 100, 11),
+		Diurnal(250, 0.5, time.Second, 100, 11),
+		Replay("edge", []time.Duration{0, time.Microsecond, time.Hour}),
+	} {
+		gaps := Collect(tr, 200)
+		got, err := Decode(Encode(gaps))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tr.Name(), err)
+		}
+		if !gapsEqual(got, gaps) {
+			t.Errorf("%s: round trip altered the trace", tr.Name())
+		}
+		if replayed := Collect(Replay(tr.Name(), got), len(got)+1); !gapsEqual(replayed, gaps) {
+			t.Errorf("%s: replay altered the trace", tr.Name())
+		}
+	}
+}
+
+func TestDecodeRejectsJunk(t *testing.T) {
+	for _, bad := range []string{"abc\n", "100\n-5\n", "1e3\n", "100 200\n"} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%q) accepted junk", bad)
+		}
+	}
+	gaps, err := Decode([]byte("# comment\n\n  42  \n"))
+	if err != nil || len(gaps) != 1 || gaps[0] != 42*time.Microsecond {
+		t.Errorf("comment/blank handling: gaps=%v err=%v", gaps, err)
+	}
+}
+
+// FuzzTraceReplay fuzzes the arrival-trace codec: any input that decodes
+// must re-encode to the identical gap sequence, and replaying it must
+// reproduce it verbatim.
+func FuzzTraceReplay(f *testing.F) {
+	f.Add([]byte("# gridqr arrival trace v1\n100\n2500\n0\n"))
+	f.Add([]byte(""))
+	f.Add(Encode(Collect(Poisson(500, 40, 1), 40)))
+	f.Add(Encode(Collect(Bursty(500, 3, 5, 40, 2), 40)))
+	f.Add(Encode(Collect(Diurnal(500, 0.7, time.Second, 40, 3), 40)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gaps, err := Decode(data)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		enc := Encode(gaps)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if !gapsEqual(got, gaps) {
+			t.Fatalf("canonical round trip altered trace: %v != %v", got, gaps)
+		}
+		if replayed := Collect(Replay("fuzz", gaps), len(gaps)+1); !gapsEqual(replayed, gaps) {
+			t.Fatal("replay altered trace")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -126,6 +127,104 @@ func TestSwappable(t *testing.T) {
 	_, body := get(t, s, "/metrics")
 	if !strings.Contains(body, "point_b 1") || strings.Contains(body, "point_a") {
 		t.Fatalf("after rebind, still serving the old registry:\n%s", body)
+	}
+}
+
+// TestScrapeUnderChurn hammers /jobs and /metrics from concurrent
+// scrapers while jobs churn through a live scheduler, pinning two
+// properties that only show up mid-flight: every scrape is well-formed
+// (valid Prometheus text, valid JSON), and the bounded finished-job
+// table never exceeds its cap in any snapshot — including ones taken
+// while completions are racing the ring writer. Run under -race this
+// also proves the observer and registry are scrape-safe.
+func TestScrapeUnderChurn(t *testing.T) {
+	const recentCap = 4
+	g := grid.SmallTestGrid(2, 2, 2)
+	reg := telemetry.NewRegistry()
+	srv := sched.Start(sched.Config{
+		Grid: g, CostOnly: true, Registry: reg, RecentJobs: recentCap,
+		Plan: sched.PerSite(g),
+	})
+	defer srv.Close()
+	h := Handler(Config{
+		Registry: reg,
+		Jobs:     func() any { return srv.Jobs() },
+	})
+
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	scraper := func(path string, check func(body string) error) {
+		for {
+			select {
+			case <-stop:
+				errs <- nil
+				return
+			default:
+			}
+			code, body := get(t, h, path)
+			if code != 200 {
+				errs <- fmt.Errorf("%s -> %d mid-churn", path, code)
+				return
+			}
+			if err := check(body); err != nil {
+				errs <- fmt.Errorf("%s: %v", path, err)
+				return
+			}
+		}
+	}
+	go scraper("/jobs", func(body string) error {
+		var rows []sched.JobInfo
+		if err := json.Unmarshal([]byte(body), &rows); err != nil {
+			return fmt.Errorf("bad JSON: %v", err)
+		}
+		finished := 0
+		for _, ji := range rows {
+			if ji.Status == "done" || ji.Status == "failed" {
+				finished++
+			}
+		}
+		if finished > recentCap {
+			return fmt.Errorf("finished rows %d exceed cap %d mid-scrape", finished, recentCap)
+		}
+		return nil
+	})
+	go scraper("/metrics", func(body string) error {
+		if _, err := telemetry.ValidatePrometheus(strings.NewReader(body)); err != nil {
+			return fmt.Errorf("invalid Prometheus text: %v", err)
+		}
+		return nil
+	})
+
+	// Churn: many small jobs completing while the scrapers read, spread
+	// over both partitions so completions genuinely race.
+	var jobs []*sched.Job
+	for i := 0; i < 48; i++ {
+		j, err := srv.Submit(sched.JobSpec{Kind: sched.KindTSQR, M: 1 << 10, N: 8, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		if res := j.Result(); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	close(stop)
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Post-churn snapshot: table settled at exactly the cap.
+	var rows []sched.JobInfo
+	_, body := get(t, h, "/jobs")
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != recentCap {
+		t.Fatalf("settled table has %d rows, want %d", len(rows), recentCap)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gridqr/internal/core"
 	"gridqr/internal/matrix"
 	"gridqr/internal/mpi"
 )
@@ -63,6 +64,12 @@ type JobSpec struct {
 	// compatible TSQR jobs into one block-diagonal factorization when
 	// the performance model says the fused reduction is cheaper.
 	Batchable bool
+	// Preemptible allows the scheduler to interrupt this job at a TSQR
+	// tree-stage boundary — the partition's current R fragments become
+	// the checkpoint — and resume it later, possibly on a different
+	// partition, with a bitwise-identical result. Only single
+	// (non-batchable, non-FT) TSQR jobs may be preemptible.
+	Preemptible bool
 }
 
 // Admission and execution errors. Submit returns them directly;
@@ -117,6 +124,10 @@ type JobResult struct {
 	BatchSize int
 	// Retries counts re-dispatches after retryable failures.
 	Retries int
+	// Preemptions counts tree-stage checkpoints this job was resumed
+	// from: each one is an interruption at a stage boundary followed by
+	// a resume (possibly on a different partition).
+	Preemptions int
 
 	// QueueWait is the wall-clock time from submission to dispatch,
 	// Service from dispatch to completion; in a virtual-time world
@@ -141,10 +152,21 @@ type Job struct {
 	done     chan struct{}
 	res      JobResult
 
-	// Dispatcher/watcher-owned state; accesses are ordered by the queue
-	// mutex (a retried job passes through the queue between owners).
+	// Runner-owned state; accesses are ordered by the queue mutex (a
+	// retried or preempted job passes through a queue between owners).
 	retries    int
 	dispatched time.Time
+	// preempts counts completed stage checkpoints; ckpt holds the last
+	// assembled checkpoint (nil once the job finishes or restarts), and
+	// partial accumulates traffic from preempted attempts so the final
+	// JobResult.Counters covers the whole job.
+	preempts int
+	ckpt     *core.StageCheckpoint
+	partial  mpi.CounterSnapshot
+	// avoid names the partition that just preempted this job (-1 none):
+	// placement penalizes it and stealing skips it, so the resume really
+	// lands elsewhere instead of being stolen straight back.
+	avoid int
 }
 
 // Spec returns the job's submitted specification.
@@ -193,7 +215,21 @@ func (s *Server) validate(spec JobSpec) error {
 	if spec.Batchable && spec.Kind != KindTSQR {
 		return &SpecError{Reason: "only TSQR jobs are batchable"}
 	}
+	if spec.Preemptible {
+		if spec.Kind != KindTSQR {
+			return &SpecError{Reason: "only TSQR jobs are preemptible"}
+		}
+		if spec.Batchable {
+			return &SpecError{Reason: "a job cannot be both batchable and preemptible"}
+		}
+		if s.cfg.FT.Enabled {
+			return &SpecError{Reason: "preemptible jobs are incompatible with the FT protocol"}
+		}
+	}
 	for _, p := range s.parts {
+		if p.retired.Load() {
+			continue
+		}
 		procs := len(p.members)
 		if spec.M/procs < spec.N {
 			return &SpecError{Reason: fmt.Sprintf(

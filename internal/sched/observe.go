@@ -64,6 +64,10 @@ type SLO struct {
 	Rejected       int64        `json:"rejected"`
 	Retries        int64        `json:"retries"`
 	DeadlineMisses int64        `json:"deadline_misses"`
+	Preempted      int64        `json:"preempted"`
+	Steals         int64        `json:"steals"`
+	Epoch          int          `json:"epoch"`
+	Partitions     int          `json:"partitions"`
 	Latency        SLOQuantiles `json:"latency"`
 	QueueWait      SLOQuantiles `json:"queue_wait"`
 }
@@ -71,8 +75,11 @@ type SLO struct {
 // SLO returns the current service-level snapshot.
 func (s *Server) SLO() SLO {
 	m := &s.metrics
+	s.mu.Lock()
+	depth, epoch, nparts := s.queuedN, s.epoch, len(s.parts)
+	s.mu.Unlock()
 	return SLO{
-		QueueDepth:     s.queue.len(),
+		QueueDepth:     depth,
 		InFlight:       s.obs.inFlight(),
 		Submitted:      int64(m.submitted.Value()),
 		Completed:      int64(m.completed.Value()),
@@ -80,6 +87,10 @@ func (s *Server) SLO() SLO {
 		Rejected:       int64(m.rejected.Value()),
 		Retries:        int64(m.retries.Value()),
 		DeadlineMisses: int64(m.expired.Value()),
+		Preempted:      int64(m.preempted.Value()),
+		Steals:         int64(m.steals.Value()),
+		Epoch:          epoch,
+		Partitions:     nparts,
 		Latency:        quantiles(m.latency),
 		QueueWait:      quantiles(m.queueWait),
 	}
@@ -90,7 +101,13 @@ func (s *Server) SLO() SLO {
 // Config.RecentJobs).
 func (s *Server) Jobs() []JobInfo {
 	var out []JobInfo
-	queued := s.queue.snapshot()
+	var queued []*Job
+	s.mu.Lock()
+	for _, p := range s.parts {
+		queued = append(queued, p.q.snapshot()...)
+	}
+	queued = append(queued, s.pending...)
+	s.mu.Unlock()
 	sort.Slice(queued, func(i, j int) bool {
 		if queued[i].spec.Priority != queued[j].spec.Priority {
 			return queued[i].spec.Priority > queued[j].spec.Priority
@@ -178,9 +195,13 @@ func (o *observer) table() []JobInfo {
 		out = append(out, ji)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	fin := len(out)
 	for i := len(o.recent) - 1; i >= 0; i-- {
 		out = append(out, o.recent[(o.next+i)%len(o.recent)])
 	}
+	// Finished rows present newest-first; partitions complete jobs
+	// concurrently, so impose ID order rather than racy ring order.
+	sort.Slice(out[fin:], func(i, j int) bool { return out[fin+i].ID > out[fin+j].ID })
 	return out
 }
 
@@ -250,6 +271,14 @@ func (o *observer) failed(j *Job, partition int, err error) {
 	})
 	o.log.Warn("job failed", append(jobAttrs(j),
 		"partition", partition, "retries", j.retries, "err", err, "outcome", "failed")...)
+}
+
+func (o *observer) preempted(j *Job, partition int) {
+	o.mu.Lock()
+	delete(o.running, j.id)
+	o.mu.Unlock()
+	o.log.Info("job preempted", append(jobAttrs(j),
+		"partition", partition, "preemptions", j.preempts)...)
 }
 
 func (o *observer) retried(j *Job, err error) {

@@ -112,6 +112,37 @@ func (p Plan) validate(g *grid.Grid) error {
 	return nil
 }
 
+// validateSparse checks an elastic (epoch) plan for Reconfigure: groups
+// must be non-empty, strictly ascending, pairwise disjoint and in range,
+// but — unlike the static validate — need not be consecutive, because a
+// plan re-formed over fault survivors keeps holes where dead ranks were.
+func (p Plan) validateSparse(g *grid.Grid) error {
+	if len(p.Groups) == 0 {
+		return fmt.Errorf("sched: plan has no partitions")
+	}
+	total := g.Procs()
+	seen := make([]bool, total)
+	for gi, members := range p.Groups {
+		if len(members) == 0 {
+			return fmt.Errorf("sched: partition %d is empty", gi)
+		}
+		for i, r := range members {
+			if r < 0 || r >= total {
+				return fmt.Errorf("sched: partition %d rank %d out of range [0,%d)", gi, r, total)
+			}
+			if i > 0 && r <= members[i-1] {
+				return fmt.Errorf("sched: partition %d ranks not ascending (%d after %d)",
+					gi, r, members[i-1])
+			}
+			if seen[r] {
+				return fmt.Errorf("sched: rank %d in two partitions", r)
+			}
+			seen[r] = true
+		}
+	}
+	return nil
+}
+
 // subGrid builds the grid a partition effectively runs on: its member
 // ranks regrouped into clusters, preserving link parameters and kernel
 // rates, so the perfmodel Predictor prices batched executions with the

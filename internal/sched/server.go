@@ -1,19 +1,28 @@
 // Package sched is the serving layer: a job scheduler multiplexing many
 // factorization requests over one simulated grid. The grid is
-// space-shared — the world communicator is split once into disjoint
-// site-aligned partitions (Comm.Split, so sub-worlds keep fault
-// injection, telemetry and cost accounting) — and jobs run concurrently,
-// one at a time per partition, exactly as a QCG-style meta-scheduler
-// places successive TSQR runs on grid subsets. Compatible small TSQR
-// jobs are fused into one block-diagonal factorization when the
-// perfmodel Predictor says the shared reduction tree is cheaper than
-// separate ones.
+// space-shared into site-aligned partitions — collective-free Comm.Sub
+// sub-worlds that keep fault injection, telemetry and cost accounting —
+// and jobs run concurrently, one at a time per partition, exactly as a
+// QCG-style meta-scheduler places successive TSQR runs on grid subsets.
+//
+// The partitioning is elastic: Reconfigure retires the current epoch's
+// partitions and forms a new set (the autoscaler in internal/elastic
+// drives it from SLO signals, re-forming over survivors after faults);
+// preemptible jobs checkpoint at TSQR tree-stage boundaries and resume —
+// bitwise identically — on whichever partition picks them up next; and
+// an idle partition steals queued work from loaded ones, so one hot
+// queue cannot starve the rest of the grid.
+//
+// Compatible small TSQR jobs are fused into one block-diagonal
+// factorization when the perfmodel Predictor says the shared reduction
+// tree is cheaper than separate ones.
 package sched
 
 import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +39,12 @@ import (
 // caqrNB is the CAQR panel width used for served jobs; admission
 // validates row-block divisibility against it.
 const caqrNB = 8
+
+// partitionQueueCap bounds each per-partition queue. The real admission
+// bound is the server-wide QueueCap enforced in Submit; the per-queue
+// capacity only has to be large enough never to reject internal moves
+// (re-routing, retries, preempted resumes).
+const partitionQueueCap = 1 << 30
 
 // Config configures a Server.
 type Config struct {
@@ -51,7 +66,7 @@ type Config struct {
 	Virtual  bool
 	CostOnly bool
 	// Faults arms the fault-injection plan on the whole world; every
-	// partition inherits it through the split.
+	// partition inherits it through the sub-communicators.
 	Faults *mpi.FaultPlan
 	// Registry receives per-job serving metrics (and, passed down to
 	// the world, per-message transport metrics). Optional.
@@ -60,8 +75,8 @@ type Config struct {
 	// (data mode only).
 	FT core.FTOptions
 	// Logger receives structured per-job lifecycle records (submitted,
-	// dispatched, completed, failed, retrying) with id/kind/partition/
-	// priority/outcome fields. Nil means silent.
+	// dispatched, preempted, completed, failed, retrying) with id/kind/
+	// partition/priority/outcome fields. Nil means silent.
 	Logger *slog.Logger
 	// TraceRing arms bounded ring-buffer span tracing on the world
 	// (virtual modes only): the server stays traceable forever in
@@ -72,21 +87,46 @@ type Config struct {
 	RecentJobs int
 }
 
-// partition is one space-share of the grid: a site-aligned rank range
-// with its own sub-communicator, running at most one execution at a time.
+// epochCmd re-forms one rank's partition membership: the rank joins
+// partition color (or becomes a spare when color < 0) by deriving the
+// epoch-scoped sub-communicator from the member list. Sub is
+// collective-free, so re-forming sends no messages and dead ranks are
+// simply skipped.
+type epochCmd struct {
+	epoch   int
+	color   int
+	members []int // world ranks, ascending; nil for spares
+}
+
+// rankCmd is one instruction to a rank goroutine: either re-form into a
+// new epoch's partition, or run one execution on the current partition.
+type rankCmd struct {
+	epoch *epochCmd
+	ex    *jobExec
+}
+
+// partition is one space-share of the grid: a site-aligned rank set with
+// its own sub-communicator, job queue and runner goroutine, executing at
+// most one job (or fused batch) at a time.
 type partition struct {
-	index   int
+	index   int   // index within its epoch's plan
+	epoch   int   // epoch that formed this partition
 	members []int // world ranks, ascending
 	pred    perfmodel.Predictor
-	chans   []chan *jobExec // per member index, buffered 1
+	q       *queue
+	cur     atomic.Pointer[jobExec] // in-flight execution, for preemption
 	healthy atomic.Bool
+	retired atomic.Bool
 }
 
 // jobExec is one dispatched execution: a single job or a fused batch.
 type jobExec struct {
-	id         int64 // first job's id; names the execution's comm
+	id         int64 // first job's id
+	attempt    int   // retries + preemptions; keeps comm labels unique
 	jobs       []*Job
 	part       *partition
+	gate       *core.PreemptGate     // non-nil for preemptible executions
+	resume     *core.StageCheckpoint // non-nil to resume from a checkpoint
 	dispatched time.Time
 	reports    chan memberReport
 }
@@ -101,8 +141,10 @@ type memberReport struct {
 	err        error
 	counters   mpi.CounterSnapshot // this member's traffic during the execution
 	clockDelta float64             // virtual seconds spent (virtual mode)
-	r          *matrix.Dense       // leader only; stacked for batches
-	x          *matrix.Dense       // leader only, KindLstSq
+	preempted  bool
+	ckpt       *core.RankCheckpoint
+	r          *matrix.Dense // leader only; stacked for batches
+	x          *matrix.Dense // leader only, KindLstSq
 	resid      []float64
 }
 
@@ -110,9 +152,11 @@ type serverMetrics struct {
 	submitted, completed, failed, rejected *telemetry.Counter
 	canceled, expired, retries             *telemetry.Counter
 	batches, batchedJobs                   *telemetry.Counter
+	preempted, steals                      *telemetry.Counter
 	queueWait, service, latency            *telemetry.Histogram
 	jobMsgs, jobBytes                      *telemetry.Histogram
 	queueDepth, inflight                   *telemetry.Gauge
+	epoch, partitions                      *telemetry.Gauge
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
@@ -121,11 +165,15 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		"sched.jobs.completed":     "jobs finished successfully",
 		"sched.jobs.failed":        "jobs finished with an error",
 		"sched.jobs.rejected":      "submissions refused at admission",
-		"sched.jobs.expired":       "jobs that missed their queue deadline",
+		"sched.jobs.expired":       "jobs that missed their deadline",
 		"sched.jobs.retries":       "re-dispatches after retryable failures",
+		"sched.jobs.preempted":     "tree-stage checkpoints taken from running jobs",
+		"sched.work.steals":        "jobs stolen from another partition's queue",
 		"sched.rejections":         "rejections and drops by typed reason",
-		"sched.queue.depth":        "jobs currently in the admission queue",
+		"sched.queue.depth":        "jobs currently queued (per-partition series labeled)",
 		"sched.inflight":           "jobs currently dispatched and running",
+		"sched.epoch":              "current partition-plan epoch",
+		"sched.partitions":         "partitions in the current epoch",
 		"sched.queue_wait_seconds": "submission-to-dispatch latency",
 		"sched.latency_seconds":    "submission-to-completion latency",
 		"sched.service_seconds":    "dispatch-to-completion service time",
@@ -140,6 +188,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		canceled:    reg.Counter("sched.jobs.canceled"),
 		expired:     reg.Counter("sched.jobs.expired"),
 		retries:     reg.Counter("sched.jobs.retries"),
+		preempted:   reg.Counter("sched.jobs.preempted"),
+		steals:      reg.Counter("sched.work.steals"),
 		batches:     reg.Counter("sched.batches"),
 		batchedJobs: reg.Counter("sched.batched_jobs"),
 		queueWait:   reg.Histogram("sched.queue_wait_seconds"),
@@ -149,6 +199,8 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		jobBytes:    reg.Histogram("sched.job.bytes"),
 		queueDepth:  reg.Gauge("sched.queue.depth"),
 		inflight:    reg.Gauge("sched.inflight"),
+		epoch:       reg.Gauge("sched.epoch"),
+		partitions:  reg.Gauge("sched.partitions"),
 	}
 }
 
@@ -156,32 +208,49 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 type Server struct {
 	cfg     Config
 	world   *mpi.World
-	parts   []*partition
-	queue   *queue
 	hasData bool
 	metrics serverMetrics
 	obs     *observer
 
-	rankColor  []int // world rank -> partition index (-1 = idle spare)
-	rankMember []int // world rank -> member index within its partition
+	// rankChans feed the rank goroutines: epoch re-forms and executions,
+	// in order. Buffered so a dead rank's pending command never blocks a
+	// sender.
+	rankChans []chan rankCmd
 
-	free         chan *partition
-	healthyCount atomic.Int32
-	allDead      chan struct{}
-	allDeadOnce  sync.Once
+	// mu guards the scheduling state below. Lock order: mu may be held
+	// while taking a queue's internal lock, never the reverse; queue
+	// onDrop callbacks therefore run with both held and must not block.
+	mu            sync.Mutex
+	workCond      *sync.Cond // signaled whenever work may be available
+	workGen       uint64     // bumped on every signal; runners re-check
+	parts         []*partition
+	epoch         int
+	queuedN       int    // admitted, undispatched jobs (the QueueCap bound)
+	inflightN     int    // dispatched executions not yet finished
+	healthyN      int    // live partitions in the current epoch
+	pending       []*Job // jobs displaced mid-Reconfigure, re-routed at install
+	reconfiguring bool
+	closing       bool
+
+	// reconfigMu serializes Reconfigure against itself and Close.
+	reconfigMu sync.Mutex
+	runnerWG   sync.WaitGroup
 
 	nextID  atomic.Int64
 	nextSeq atomic.Int64
 
-	execWG       sync.WaitGroup
-	dispatchDone chan struct{}
-	runDone      chan struct{}
-	closed       atomic.Bool
-	closeOnce    sync.Once
+	// execHook, when set (tests only), observes every execution as it is
+	// built — before any rank starts — so tests can latch a preemption
+	// cut deterministically regardless of scheduling. Guarded by mu.
+	execHook func(*jobExec)
+
+	runDone   chan struct{}
+	closed    atomic.Bool
+	closeOnce sync.Once
 }
 
-// Start builds the world, splits it into the plan's partitions and
-// begins serving. Close must be called to release the rank goroutines.
+// Start builds the world, forms the plan's partitions and begins
+// serving. Close must be called to release the rank goroutines.
 func Start(cfg Config) *Server {
 	if cfg.Grid == nil {
 		panic("sched: Config.Grid is required")
@@ -207,8 +276,8 @@ func Start(cfg Config) *Server {
 	switch {
 	case cfg.CostOnly:
 		// The serving world must stay on the goroutine runtime even in
-		// cost-only mode: rankMain blocks each rank on a Go channel fed
-		// by the dispatcher, which the cooperative event engine cannot
+		// cost-only mode: rank goroutines block on Go channels fed by the
+		// partition runners, which the cooperative event engine cannot
 		// schedule around (ranks there may only block inside the Comm
 		// API).
 		opts = append(opts, mpi.CostOnly(), mpi.GoroutineEngine())
@@ -228,47 +297,29 @@ func Start(cfg Config) *Server {
 	opts = append(opts, mpi.WithMetrics(reg))
 
 	s := &Server{
-		cfg:          cfg,
-		world:        mpi.NewWorld(cfg.Grid, opts...),
-		hasData:      !cfg.CostOnly,
-		metrics:      newServerMetrics(reg),
-		obs:          newObserver(cfg.Logger, reg, cfg.RecentJobs),
-		rankColor:    make([]int, cfg.Grid.Procs()),
-		rankMember:   make([]int, cfg.Grid.Procs()),
-		allDead:      make(chan struct{}),
-		dispatchDone: make(chan struct{}),
-		runDone:      make(chan struct{}),
+		cfg:     cfg,
+		world:   mpi.NewWorld(cfg.Grid, opts...),
+		hasData: !cfg.CostOnly,
+		metrics: newServerMetrics(reg),
+		obs:     newObserver(cfg.Logger, reg, cfg.RecentJobs),
+		runDone: make(chan struct{}),
 	}
-	for r := range s.rankColor {
-		s.rankColor[r] = -1
+	s.workCond = sync.NewCond(&s.mu)
+	s.rankChans = make([]chan rankCmd, cfg.Grid.Procs())
+	for r := range s.rankChans {
+		s.rankChans[r] = make(chan rankCmd, 8)
 	}
-	for pi, members := range cfg.Plan.Groups {
-		p := &partition{
-			index:   pi,
-			members: append([]int(nil), members...),
-			pred:    perfmodel.Predictor{G: subGrid(cfg.Grid, members)},
-			chans:   make([]chan *jobExec, len(members)),
-		}
-		p.healthy.Store(true)
-		for i, wr := range members {
-			s.rankColor[wr] = pi
-			s.rankMember[wr] = i
-			p.chans[i] = make(chan *jobExec, 1)
-		}
-		s.parts = append(s.parts, p)
-	}
-	s.queue = newQueue(cfg.QueueCap, s.dropJob, s.metrics.queueDepth)
-	s.free = make(chan *partition, len(s.parts))
-	for _, p := range s.parts {
-		s.free <- p
-	}
-	s.healthyCount.Store(int32(len(s.parts)))
+
+	s.mu.Lock()
+	s.installPartitionsLocked(cfg.Plan)
+	s.sendEpochLocked()
+	s.spawnRunnersLocked()
+	s.mu.Unlock()
 
 	go func() {
 		s.world.Run(s.rankMain)
 		close(s.runDone)
 	}()
-	go s.dispatcher()
 	return s
 }
 
@@ -276,14 +327,27 @@ func Start(cfg Config) *Server {
 // for tests and the bench harness.
 func (s *Server) World() *mpi.World { return s.world }
 
-// Partitions returns the number of space-shares the server runs.
-func (s *Server) Partitions() int { return len(s.parts) }
+// Partitions returns the number of space-shares in the current epoch.
+func (s *Server) Partitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.parts)
+}
+
+// Epoch returns the current partition-plan epoch (0 at Start, bumped by
+// every Reconfigure).
+func (s *Server) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 // Stats is a point-in-time snapshot of the serving counters.
 type Stats struct {
 	Submitted, Completed, Failed, Rejected int64
 	Canceled, Expired, Retries             int64
 	Batches, BatchedJobs                   int64
+	Preempted, Steals                      int64
 }
 
 func (s *Server) Stats() Stats {
@@ -294,7 +358,79 @@ func (s *Server) Stats() Stats {
 		Canceled: int64(m.canceled.Value()), Expired: int64(m.expired.Value()),
 		Retries: int64(m.retries.Value()), Batches: int64(m.batches.Value()),
 		BatchedJobs: int64(m.batchedJobs.Value()),
+		Preempted:   int64(m.preempted.Value()), Steals: int64(m.steals.Value()),
 	}
+}
+
+// installPartitionsLocked replaces the partition set with the plan's
+// groups for the current epoch. Caller holds s.mu.
+func (s *Server) installPartitionsLocked(plan Plan) {
+	s.parts = nil
+	for pi, members := range plan.Groups {
+		gauge := s.obs.reg.GaugeL("sched.queue.depth",
+			telemetry.Labels{"partition": strconv.Itoa(pi)})
+		p := &partition{
+			index:   pi,
+			epoch:   s.epoch,
+			members: append([]int(nil), members...),
+			pred:    perfmodel.Predictor{G: subGrid(s.cfg.Grid, members)},
+			q:       newQueue(partitionQueueCap, s.queueDrop, gauge),
+		}
+		p.healthy.Store(true)
+		s.parts = append(s.parts, p)
+	}
+	s.healthyN = len(s.parts)
+	s.metrics.partitions.Set(float64(len(s.parts)))
+	s.metrics.epoch.Set(float64(s.epoch))
+}
+
+// sendEpochLocked tells every live rank its membership for the current
+// epoch. Dead ranks are skipped — they have no consumer. Caller holds
+// s.mu; consumers never need it, so a (briefly) blocking send is safe.
+func (s *Server) sendEpochLocked() {
+	n := s.cfg.Grid.Procs()
+	color := make([]int, n)
+	for r := range color {
+		color[r] = -1
+	}
+	for _, p := range s.parts {
+		for _, wr := range p.members {
+			color[wr] = p.index
+		}
+	}
+	for r := 0; r < n; r++ {
+		if s.world.RankDead(r) {
+			continue
+		}
+		e := &epochCmd{epoch: s.epoch, color: color[r]}
+		if color[r] >= 0 {
+			e.members = s.parts[color[r]].members
+		}
+		s.rankChans[r] <- rankCmd{epoch: e}
+	}
+}
+
+func (s *Server) spawnRunnersLocked() {
+	for _, p := range s.parts {
+		s.runnerWG.Add(1)
+		go s.runner(p)
+	}
+}
+
+// addQueuedLocked adjusts the admitted-undispatched count and mirrors it
+// on the aggregate depth gauge. Caller holds s.mu.
+func (s *Server) addQueuedLocked(delta int) {
+	s.queuedN += delta
+	s.metrics.queueDepth.Set(float64(s.queuedN))
+}
+
+// queueDrop observes a job a partition queue completed itself (canceled,
+// expired at pop time). Runs with s.mu and the queue lock held — every
+// queue mutation goes through the scheduler lock — so it only adjusts
+// counters and resolves the future.
+func (s *Server) queueDrop(j *Job, err error) {
+	s.addQueuedLocked(-1)
+	s.dropJob(j, err)
 }
 
 // Submit validates and enqueues a job, returning its future. Typed
@@ -305,9 +441,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.reject(spec, ErrServerClosed)
 		return nil, ErrServerClosed
 	}
+	s.mu.Lock()
 	if err := s.validate(spec); err != nil {
+		s.mu.Unlock()
 		s.reject(spec, err)
 		return nil, err
+	}
+	if s.queuedN >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		s.reject(spec, ErrQueueFull)
+		return nil, ErrQueueFull
 	}
 	j := &Job{
 		spec:   spec,
@@ -315,11 +458,29 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		seq:    s.nextSeq.Add(1),
 		submit: time.Now(),
 		done:   make(chan struct{}),
+		avoid:  -1,
 	}
-	if err := s.queue.push(j); err != nil {
-		s.reject(spec, err)
-		return nil, err
+	tgt := s.placeLocked(j, -1)
+	switch {
+	case tgt != nil:
+		s.addQueuedLocked(1)
+		tgt.q.push(j)
+		s.workGen++
+		s.workCond.Broadcast()
+	case s.reconfiguring:
+		// Between epochs: park the job; the install step re-routes it.
+		s.addQueuedLocked(1)
+		s.pending = append(s.pending, j)
+	default:
+		// Every partition lost ranks and no re-form is coming: the job is
+		// admitted, then immediately completed with the typed error.
+		s.mu.Unlock()
+		s.metrics.submitted.Inc()
+		s.obs.submitted(j)
+		s.dropJob(j, ErrNoPartition)
+		return j, nil
 	}
+	s.mu.Unlock()
 	s.metrics.submitted.Inc()
 	s.obs.submitted(j)
 	return j, nil
@@ -332,25 +493,174 @@ func (s *Server) reject(spec JobSpec, err error) {
 	s.obs.rejected(spec, err)
 }
 
-// Close drains the queue (queued jobs still run), waits for in-flight
+// placeLocked picks the queue a job should wait in: the least-loaded
+// live partition the job fits, strongly preferring a different partition
+// than `avoid` (the one that just preempted it) and partitions whose
+// size matches the job's checkpoint (so the resume replays instead of
+// restarting). Returns nil when no live partition fits. Caller holds
+// s.mu.
+func (s *Server) placeLocked(j *Job, avoid int) *partition {
+	const tier = 1 << 20 // dominates any realistic queue depth
+	var best *partition
+	bestScore := 0
+	for _, p := range s.parts {
+		if p.retired.Load() || !p.healthy.Load() {
+			continue
+		}
+		if !fitsPartition(j.spec, p) {
+			continue
+		}
+		score := p.q.len()
+		if p.index == avoid {
+			score += tier
+		}
+		if j.ckpt != nil && j.ckpt.Procs != len(p.members) {
+			score += tier
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best
+}
+
+// fitsPartition mirrors the per-partition feasibility checks of
+// admission for one partition (stealing and re-routing re-check them).
+func fitsPartition(spec JobSpec, p *partition) bool {
+	procs := len(p.members)
+	if spec.M/procs < spec.N {
+		return false
+	}
+	if spec.Kind == KindCAQR && (spec.M%procs != 0 || (spec.M/procs)%caqrNB != 0) {
+		return false
+	}
+	return true
+}
+
+// Close drains the queues (queued jobs still run), waits for in-flight
 // executions, then shuts the rank goroutines down. Submissions after
 // Close fail with ErrServerClosed.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
-		s.queue.close()
-		<-s.dispatchDone
+		s.reconfigMu.Lock()
+		defer s.reconfigMu.Unlock()
+		s.mu.Lock()
+		s.closing = true
+		s.workGen++
+		s.workCond.Broadcast()
+		s.mu.Unlock()
+		s.runnerWG.Wait()
+		// Anything still queued has no runner left (all partitions lost
+		// ranks); complete it typed.
+		s.mu.Lock()
+		var stranded []*Job
 		for _, p := range s.parts {
-			for _, ch := range p.chans {
-				close(ch)
+			for {
+				j, ok := p.q.pop(false)
+				if !ok {
+					break
+				}
+				s.addQueuedLocked(-1)
+				stranded = append(stranded, j)
 			}
+		}
+		stranded = append(stranded, s.pending...)
+		s.addQueuedLocked(-len(s.pending))
+		s.pending = nil
+		s.mu.Unlock()
+		for _, j := range stranded {
+			s.dropJob(j, ErrNoPartition)
+		}
+		for _, ch := range s.rankChans {
+			close(ch)
 		}
 		<-s.runDone
 	})
 }
 
-// dropJob completes a job the queue or dispatcher rejected before it
-// ever ran (canceled, expired, shed retry).
+// Reconfigure replaces the partition plan at an epoch boundary: running
+// preemptible jobs checkpoint at their next tree-stage boundary (others
+// finish), queued jobs are re-routed onto the new partitions, and the
+// new epoch's sub-communicators form over the plan's ranks — which may
+// exclude dead ranks, so an autoscaler can re-form over survivors. The
+// plan may leave holes where dead ranks were (validateSparse), but must
+// not include a dead rank.
+func (s *Server) Reconfigure(plan Plan) error {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	if s.closed.Load() {
+		return ErrServerClosed
+	}
+	if err := plan.validateSparse(s.cfg.Grid); err != nil {
+		return err
+	}
+	for _, members := range plan.Groups {
+		for _, r := range members {
+			if s.world.RankDead(r) {
+				return fmt.Errorf("sched: plan includes dead rank %d", r)
+			}
+		}
+	}
+
+	// Retire the current epoch: request preemption of in-flight
+	// preemptible executions and wake idle runners so they exit.
+	s.mu.Lock()
+	s.reconfiguring = true
+	for _, p := range s.parts {
+		p.retired.Store(true)
+		if ex := p.cur.Load(); ex != nil && ex.gate != nil {
+			ex.gate.Request()
+		}
+	}
+	s.workGen++
+	s.workCond.Broadcast()
+	s.mu.Unlock()
+
+	s.runnerWG.Wait()
+
+	// Install the new epoch and re-route displaced work.
+	s.mu.Lock()
+	s.epoch++
+	var orphans []*Job
+	for _, p := range s.parts {
+		for {
+			j, ok := p.q.pop(false)
+			if !ok {
+				break
+			}
+			s.addQueuedLocked(-1)
+			orphans = append(orphans, j)
+		}
+	}
+	orphans = append(orphans, s.pending...)
+	s.addQueuedLocked(-len(s.pending))
+	s.pending = nil
+	s.installPartitionsLocked(plan)
+	s.sendEpochLocked()
+	var dropped []*Job
+	for _, j := range orphans {
+		if tgt := s.placeLocked(j, -1); tgt != nil {
+			s.addQueuedLocked(1)
+			tgt.q.pushRetry(j)
+		} else {
+			dropped = append(dropped, j)
+		}
+	}
+	s.spawnRunnersLocked()
+	s.reconfiguring = false
+	s.workGen++
+	s.workCond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range dropped {
+		s.dropJob(j, ErrNoPartition)
+	}
+	return nil
+}
+
+// dropJob completes a job that will not run (canceled, expired, shed
+// retry, no partition left). The caller has already removed it from any
+// queue.
 func (s *Server) dropJob(j *Job, err error) {
 	switch {
 	case errors.Is(err, ErrCanceled):
@@ -364,118 +674,441 @@ func (s *Server) dropJob(j *Job, err error) {
 		telemetry.Labels{"reason": rejectReason(err)}).Inc()
 	s.obs.failed(j, -1, err)
 	j.complete(JobResult{
-		Err: err, Partition: -1, Retries: j.retries,
+		Err: err, Partition: -1, Retries: j.retries, Preemptions: j.preempts,
 		QueueWait: time.Since(j.submit),
 	})
 }
 
-// dispatcher is the scheduling loop: pop the best runnable job, acquire
-// a free healthy partition, optionally gather a batch, dispatch. It is
-// the only consumer of the queue, so priority order is global.
-func (s *Server) dispatcher() {
-	defer close(s.dispatchDone)
+// runner is a partition's scheduling loop: pop (or steal) the best
+// runnable job, gather a batch, dispatch to the partition's ranks, and
+// collect their reports. It exits when the partition is retired or the
+// server has closed and fully drained.
+func (s *Server) runner(p *partition) {
+	defer s.runnerWG.Done()
 	for {
-		j, ok := s.queue.pop(true)
+		ex := s.nextExec(p)
+		if ex == nil {
+			return
+		}
+		s.dispatchExec(ex)
+		out := s.watchExec(ex)
+		service := time.Since(ex.dispatched)
+		if s.world.Virtual() {
+			service = time.Duration(out.maxClock * float64(time.Second))
+		}
+		p.cur.Store(nil)
+
+		// Retire the partition before re-routing its work if a member
+		// died during the execution, so placement skips it.
+		s.mu.Lock()
+		s.checkHealthLocked(p)
+		s.mu.Unlock()
+
+		switch {
+		case out.err != nil:
+			for _, j := range ex.jobs {
+				s.failOrRetry(j, out.err)
+			}
+			s.metrics.inflight.Set(float64(s.obs.inFlight()))
+		case out.preempted:
+			s.finishPreempted(ex, out)
+		default:
+			s.finishExec(ex, out, service)
+		}
+
+		s.mu.Lock()
+		s.inflightN--
+		s.workGen++
+		s.workCond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+// nextExec blocks until the partition has an execution to run, stealing
+// from other partitions' queues when its own is empty. Returns nil when
+// the partition is retired or the server has closed and drained.
+func (s *Server) nextExec(p *partition) *jobExec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if p.retired.Load() {
+			return nil
+		}
+		gen := s.workGen
+		if j, ok := p.q.pop(false); ok {
+			s.addQueuedLocked(-1)
+			if ex := s.buildExecLocked(p, j); ex != nil {
+				return ex
+			}
+			continue
+		}
+		if j, ok := s.stealLocked(p); ok {
+			s.metrics.steals.Inc()
+			if ex := s.buildExecLocked(p, j); ex != nil {
+				return ex
+			}
+			continue
+		}
+		if s.closing && s.queuedN == 0 && s.inflightN == 0 {
+			return nil
+		}
+		if s.workGen == gen {
+			s.workCond.Wait()
+		}
+	}
+}
+
+// stealLocked takes the best queued job this partition can run from the
+// most loaded other live queue — work-stealing drains imbalanced
+// partition queues without a central dispatcher. Caller holds s.mu.
+func (s *Server) stealLocked(p *partition) (*Job, bool) {
+	var victim *partition
+	for _, o := range s.parts {
+		if o == p || o.retired.Load() || !o.healthy.Load() || o.q.len() == 0 {
+			continue
+		}
+		if victim == nil || o.q.len() > victim.q.len() {
+			victim = o
+		}
+	}
+	if victim == nil {
+		return nil, false
+	}
+	j, ok := victim.q.popMatch(func(o *Job) bool {
+		if !fitsPartition(o.spec, p) || o.avoid == p.index {
+			return false
+		}
+		// Leave a checkpointed job for a partition that can resume it.
+		return o.ckpt == nil || o.ckpt.Procs == len(p.members)
+	})
+	if ok {
+		s.addQueuedLocked(-1)
+	}
+	return j, ok
+}
+
+// buildExecLocked turns a popped job into an execution on p: the
+// dispatch-time deadline check, batch gathering, and preemption wiring.
+// Returns nil when the job was dropped instead (the caller loops).
+// Caller holds s.mu.
+func (s *Server) buildExecLocked(p *partition, j *Job) *jobExec {
+	if err := deadlineRisk(p, j); err != nil {
+		s.dropJob(j, err)
+		return nil
+	}
+	jobs := []*Job{j}
+	if s.cfg.MaxBatch > 1 && j.spec.Batchable {
+		for len(jobs) < s.cfg.MaxBatch &&
+			batchProfitable(p.pred, j.spec.M, j.spec.N, len(jobs)) {
+			nj, got := p.q.popMatch(func(o *Job) bool { return compatible(j.spec, o.spec) })
+			if !got {
+				break
+			}
+			s.addQueuedLocked(-1)
+			jobs = append(jobs, nj)
+		}
+	}
+	ex := &jobExec{
+		id:      j.id,
+		attempt: j.retries + j.preempts,
+		jobs:    jobs,
+		part:    p,
+		reports: make(chan memberReport, len(p.members)),
+	}
+	if len(jobs) == 1 && j.spec.Preemptible {
+		ex.gate = core.NewPreemptGate()
+		if j.ckpt != nil && j.ckpt.Procs == len(p.members) && j.ckpt.N == j.spec.N {
+			ex.resume = j.ckpt
+		} else {
+			// The checkpoint was taken on a different partition size; it
+			// cannot be replayed here, so the job restarts from scratch.
+			j.ckpt = nil
+			j.partial = mpi.CounterSnapshot{}
+		}
+	}
+	for _, job := range jobs {
+		job.avoid = -1
+	}
+	if s.execHook != nil {
+		s.execHook(ex)
+	}
+	s.inflightN++
+	p.cur.Store(ex)
+	return ex
+}
+
+// deadlineRisk is the dispatch-time end-to-end deadline check: when the
+// partition's performance model predicts the job cannot finish inside
+// its remaining deadline budget, it is rejected now — typed, without
+// burning the partition's time — instead of completing late.
+func deadlineRisk(p *partition, j *Job) error {
+	if j.spec.Deadline <= 0 || j.spec.Kind != KindTSQR {
+		return nil
+	}
+	remaining := j.spec.Deadline - time.Since(j.submit)
+	if remaining <= 0 {
+		return ErrDeadlineExceeded
+	}
+	if p.pred.TSQRTime(j.spec.M, j.spec.N, false) > remaining.Seconds() {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// checkHealthLocked retires the partition if the fault plan killed one
+// of its members, re-routing its queued jobs to surviving partitions.
+// Caller holds s.mu.
+func (s *Server) checkHealthLocked(p *partition) {
+	dead := false
+	for _, wr := range p.members {
+		if s.world.RankDead(wr) {
+			dead = true
+			break
+		}
+	}
+	if !dead || !p.retired.CompareAndSwap(false, true) {
+		return
+	}
+	p.healthy.Store(false)
+	s.healthyN--
+	var displaced []*Job
+	for {
+		j, ok := p.q.pop(false)
 		if !ok {
-			// Queue closed and empty — but in-flight executions may
-			// still requeue retries; wait them out and drain.
-			s.execWG.Wait()
-			if j, ok = s.queue.pop(false); !ok {
+			break
+		}
+		s.addQueuedLocked(-1)
+		displaced = append(displaced, j)
+	}
+	var dropped []*Job
+	for _, j := range displaced {
+		if tgt := s.placeLocked(j, p.index); tgt != nil {
+			s.addQueuedLocked(1)
+			tgt.q.pushRetry(j)
+		} else if s.reconfiguring {
+			s.addQueuedLocked(1)
+			s.pending = append(s.pending, j)
+		} else {
+			dropped = append(dropped, j)
+		}
+	}
+	s.workGen++
+	s.workCond.Broadcast()
+	if len(dropped) > 0 {
+		// dropJob resolves futures; safe under mu (no queue locks held).
+		for _, j := range dropped {
+			s.dropJob(j, ErrNoPartition)
+		}
+	}
+}
+
+// dispatchExec hands an execution to every live member of the partition.
+func (s *Server) dispatchExec(ex *jobExec) {
+	now := time.Now()
+	ex.dispatched = now
+	for _, j := range ex.jobs {
+		j.dispatched = now
+		s.metrics.queueWait.Observe(now.Sub(j.submit).Seconds())
+		s.obs.dispatched(j, ex.part.index, len(ex.jobs))
+	}
+	s.metrics.inflight.Set(float64(s.obs.inFlight()))
+	if len(ex.jobs) > 1 {
+		s.metrics.batches.Inc()
+		s.metrics.batchedJobs.Add(float64(len(ex.jobs)))
+	}
+	for _, wr := range ex.part.members {
+		if s.world.RankDead(wr) {
+			continue // the watcher's poll reports it
+		}
+		s.rankChans[wr] <- rankCmd{ex: ex}
+	}
+}
+
+// execOutcome aggregates one execution's member reports.
+type execOutcome struct {
+	leader    memberReport
+	counters  mpi.CounterSnapshot
+	maxClock  float64
+	err       error
+	preempted bool
+	frags     []*core.RankCheckpoint
+}
+
+// watchExec collects every member's report for one execution. With a
+// fault plan armed it polls for member deaths, since a killed rank
+// reports nothing.
+func (s *Server) watchExec(ex *jobExec) execOutcome {
+	part := ex.part
+	n := len(part.members)
+	got := make(map[int]memberReport, n)
+	var tickC <-chan time.Time
+	if s.cfg.Faults != nil {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for len(got) < n {
+		select {
+		case rep := <-ex.reports:
+			got[rep.member] = rep
+		case <-tickC:
+			for m, wr := range part.members {
+				if _, ok := got[m]; !ok && s.world.RankDead(wr) {
+					got[m] = memberReport{
+						member: m,
+						err:    &mpi.RankFailedError{Rank: wr, Op: "serve"},
+					}
+				}
+			}
+		}
+	}
+
+	var out execOutcome
+	for m := 0; m < n; m++ {
+		rep := got[m]
+		addCounters(&out.counters, rep.counters)
+		if rep.clockDelta > out.maxClock {
+			out.maxClock = rep.clockDelta
+		}
+		if rep.err != nil && out.err == nil {
+			out.err = rep.err
+		}
+		if rep.preempted {
+			out.preempted = true
+		}
+		if rep.ckpt != nil {
+			out.frags = append(out.frags, rep.ckpt)
+		}
+	}
+	out.leader = got[0]
+	return out
+}
+
+// finishPreempted persists the execution's checkpoint on the job and
+// requeues it, preferring a different partition: the stage-consistent R
+// fragments are the whole job state, so the resume is bitwise-identical
+// wherever a same-size partition picks it up.
+func (s *Server) finishPreempted(ex *jobExec, out execOutcome) {
+	j := ex.jobs[0]
+	addCounters(&j.partial, out.counters)
+	j.ckpt = core.AssembleCheckpoint(out.frags)
+	j.preempts++
+	j.avoid = ex.part.index
+	s.metrics.preempted.Inc()
+	s.obs.preempted(j, ex.part.index)
+	s.metrics.inflight.Set(float64(s.obs.inFlight()))
+	s.mu.Lock()
+	tgt := s.placeLocked(j, ex.part.index)
+	switch {
+	case tgt != nil:
+		// Resumes bypass the admission bound: the job already holds its
+		// slot's worth of work, half done.
+		s.addQueuedLocked(1)
+		tgt.q.pushRetry(j)
+		s.workGen++
+		s.workCond.Broadcast()
+	case s.reconfiguring:
+		s.addQueuedLocked(1)
+		s.pending = append(s.pending, j)
+	default:
+		s.mu.Unlock()
+		s.dropJob(j, ErrNoPartition)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// finishExec resolves every job of a successful execution.
+func (s *Server) finishExec(ex *jobExec, out execOutcome, service time.Duration) {
+	n := ex.jobs[0].spec.N
+	for bi, j := range ex.jobs {
+		counters := out.counters
+		addCounters(&counters, j.partial)
+		j.ckpt = nil
+		res := JobResult{
+			Partition:   ex.part.index,
+			BatchSize:   len(ex.jobs),
+			Retries:     j.retries,
+			Preemptions: j.preempts,
+			QueueWait:   j.dispatched.Sub(j.submit),
+			Service:     service,
+			Counters:    counters,
+		}
+		if len(ex.jobs) > 1 && out.leader.r != nil {
+			res.R = extractR(out.leader.r, bi, n)
+		} else {
+			res.R = out.leader.r
+		}
+		res.X, res.Resid = out.leader.x, out.leader.resid
+		s.metrics.completed.Inc()
+		s.metrics.service.Observe(service.Seconds())
+		s.metrics.latency.Observe(time.Since(j.submit).Seconds())
+		t := counters.Total()
+		s.metrics.jobMsgs.Observe(float64(t.Msgs))
+		s.metrics.jobBytes.Observe(t.Bytes)
+		s.obs.completed(j, &res)
+		j.complete(res)
+	}
+	s.metrics.inflight.Set(float64(s.obs.inFlight()))
+}
+
+// failOrRetry requeues a job after a retryable failure (rank death,
+// FT abort, timeout) while live partitions and retry budget remain;
+// otherwise it completes the job with the error. A checkpointed job
+// retries from its last complete checkpoint — fragments from the failed
+// attempt are discarded, since a dead member's share is missing.
+func (s *Server) failOrRetry(j *Job, execErr error) {
+	if retryable(execErr) && j.retries < s.cfg.MaxRetries {
+		j.retries++
+		j.spec.Batchable = false // retry alone: no shared fate twice
+		s.mu.Lock()
+		if s.queuedN < s.cfg.QueueCap {
+			if tgt := s.placeLocked(j, -1); tgt != nil {
+				s.addQueuedLocked(1)
+				tgt.q.pushRetry(j)
+				s.workGen++
+				s.workCond.Broadcast()
+				s.mu.Unlock()
+				s.metrics.retries.Inc()
+				s.obs.retried(j, execErr)
+				return
+			} else if s.reconfiguring {
+				s.addQueuedLocked(1)
+				s.pending = append(s.pending, j)
+				s.mu.Unlock()
+				s.metrics.retries.Inc()
+				s.obs.retried(j, execErr)
 				return
 			}
 		}
-		part := s.acquire()
-		if part == nil {
-			s.dropJob(j, ErrNoPartition)
-			continue
-		}
-		// The wait for a partition may have outlived the job.
-		if err := runnable(j); err != nil {
-			s.dropJob(j, err)
-			s.release(part)
-			continue
-		}
-		jobs := []*Job{j}
-		if s.cfg.MaxBatch > 1 && j.spec.Batchable {
-			for len(jobs) < s.cfg.MaxBatch &&
-				batchProfitable(part.pred, j.spec.M, j.spec.N, len(jobs)) {
-				nj, got := s.queue.popMatch(func(o *Job) bool { return compatible(j.spec, o.spec) })
-				if !got {
-					break
-				}
-				jobs = append(jobs, nj)
-			}
-		}
-		s.dispatch(part, jobs)
+		s.mu.Unlock()
 	}
+	s.metrics.failed.Inc()
+	s.obs.failed(j, -1, execErr)
+	j.complete(JobResult{
+		Err: execErr, Partition: -1, Retries: j.retries, Preemptions: j.preempts,
+		QueueWait: j.dispatched.Sub(j.submit),
+	})
 }
 
-// acquire blocks until a healthy partition is free, or returns nil when
-// every partition has lost ranks.
-func (s *Server) acquire() *partition {
-	select {
-	case p := <-s.free:
-		return p
-	case <-s.allDead:
-		return nil
-	}
-}
-
-// release returns a partition to the pool — or retires it when the
-// fault plan killed one of its ranks.
-func (s *Server) release(p *partition) {
-	for _, wr := range p.members {
-		if s.world.RankDead(wr) {
-			if p.healthy.CompareAndSwap(true, false) {
-				if s.healthyCount.Add(-1) == 0 {
-					s.allDeadOnce.Do(func() { close(s.allDead) })
-				}
-			}
-			return
-		}
-	}
-	s.free <- p
-}
-
-// dispatch hands an execution to every member of the partition and
-// spawns its watcher.
-func (s *Server) dispatch(part *partition, jobs []*Job) {
-	now := time.Now()
-	ex := &jobExec{
-		id: jobs[0].id, jobs: jobs, part: part, dispatched: now,
-		reports: make(chan memberReport, len(part.members)),
-	}
-	for _, j := range jobs {
-		j.dispatched = now
-		s.metrics.queueWait.Observe(now.Sub(j.submit).Seconds())
-		s.obs.dispatched(j, part.index, len(jobs))
-	}
-	s.metrics.inflight.Set(float64(s.obs.inFlight()))
-	if len(jobs) > 1 {
-		s.metrics.batches.Inc()
-		s.metrics.batchedJobs.Add(float64(len(jobs)))
-	}
-	s.execWG.Add(1)
-	for _, ch := range part.chans {
-		ch <- ex // buffered; a dead member's channel just holds it
-	}
-	go s.watch(ex)
-}
-
-// rankMain runs on every world rank: split into the partition comm once
-// (before any job, so the split's traffic is attributed to startup, not
-// to jobs), then serve executions from the dispatcher.
+// rankMain runs on every world rank: follow the epoch commands into the
+// current partition's sub-communicator (collective-free, so re-forming
+// costs no messages), and serve executions in between. Spares idle on
+// their channel until an epoch includes them.
 func (s *Server) rankMain(ctx *mpi.Ctx) {
 	world := mpi.WorldComm(ctx)
-	color := s.rankColor[ctx.Rank()]
-	pcomm := world.Split(color, ctx.Rank())
-	if color < 0 {
-		return // spare rank, not in any partition
-	}
-	part := s.parts[color]
-	member := s.rankMember[ctx.Rank()]
-	for ex := range part.chans[member] {
-		s.runExec(ctx, pcomm, member, ex)
+	var pcomm *mpi.Comm
+	for cmd := range s.rankChans[ctx.Rank()] {
+		if cmd.epoch != nil {
+			e := cmd.epoch
+			if e.color < 0 {
+				pcomm = nil
+				continue
+			}
+			pcomm = world.Sub(e.members, fmt.Sprintf("e%d.p%d", e.epoch, e.color))
+			continue
+		}
+		s.runExec(ctx, pcomm, pcomm.Rank(), cmd.ex)
 	}
 }
 
@@ -502,14 +1135,14 @@ func (s *Server) runExec(ctx *mpi.Ctx, pcomm *mpi.Comm, member int, ex *jobExec)
 	}()
 	before := ctx.LocalCounters()
 	clock0 := ctx.Now()
-	// A fresh sub-communicator per execution gives each job its own tag
-	// namespace for free (Sub is collective-free), so concurrent and
-	// consecutive jobs can never alias messages.
+	// A fresh sub-communicator per execution attempt gives each job its
+	// own tag namespace for free (Sub is collective-free), so concurrent,
+	// consecutive and resumed jobs can never alias messages.
 	all := make([]int, pcomm.Size())
 	for i := range all {
 		all[i] = i
 	}
-	jcomm := pcomm.Sub(all, fmt.Sprintf("j%d", ex.id))
+	jcomm := pcomm.Sub(all, fmt.Sprintf("j%d.a%d", ex.id, ex.attempt))
 	rep := s.execute(ctx, jcomm, ex)
 	rep.counters = counterDelta(ctx.LocalCounters(), before)
 	rep.clockDelta = ctx.Now() - clock0
@@ -542,11 +1175,14 @@ func (s *Server) execute(ctx *mpi.Ctx, jcomm *mpi.Comm, ex *jobExec) memberRepor
 	offsets := scalapack.BlockOffsets(spec.M, p)
 	myRows := offsets[me+1] - offsets[me]
 	in := core.Input{M: spec.M, N: spec.N, Offsets: offsets}
-	if ctx.HasData() {
+	if ctx.HasData() && ex.resume == nil {
 		in.Local = matrix.RandomRows(myRows, spec.N, offsets[me], spec.Seed)
 	}
 	switch spec.Kind {
 	case KindTSQR:
+		if ex.gate != nil {
+			return s.runStagedTSQR(jcomm, ex, in)
+		}
 		return s.runTSQR(jcomm, in)
 	case KindCAQR:
 		res := core.CAQRFactorize(jcomm, in, core.CAQRConfig{NB: caqrNB})
@@ -583,6 +1219,25 @@ func (s *Server) execute(ctx *mpi.Ctx, jcomm *mpi.Comm, ex *jobExec) memberRepor
 	}
 }
 
+// runStagedTSQR runs a preemptible TSQR through the staged entry points:
+// fresh jobs walk FactorizeStaged under the execution's gate, resumed
+// jobs replay their checkpoint's original merge schedule. Both stop at a
+// consistent tree-stage boundary when the gate fires and report their R
+// fragments as the checkpoint.
+func (s *Server) runStagedTSQR(jcomm *mpi.Comm, ex *jobExec, in core.Input) memberReport {
+	var res *core.StagedResult
+	if ex.resume != nil {
+		res = core.ResumeStaged(jcomm, ex.resume, ex.gate)
+	} else {
+		res = core.FactorizeStaged(jcomm, in, core.Config{Tree: core.TreeGrid}, ex.gate)
+	}
+	rep := memberReport{preempted: res.Preempted, ckpt: res.Ckpt}
+	if jcomm.Rank() == 0 {
+		rep.r = res.R
+	}
+	return rep
+}
+
 // runTSQR runs the (possibly fault-tolerant) TSQR entry point.
 func (s *Server) runTSQR(jcomm *mpi.Comm, in core.Input) memberReport {
 	cfg := core.Config{Tree: core.TreeGrid}
@@ -604,118 +1259,6 @@ func (s *Server) runTSQR(jcomm *mpi.Comm, in core.Input) memberReport {
 		rep.r = res.R
 	}
 	return rep
-}
-
-// watch collects every member's report for one execution, aggregates
-// per-job accounting and completes (or retries) the jobs. With a fault
-// plan armed it polls for member deaths, since a killed rank reports
-// nothing.
-func (s *Server) watch(ex *jobExec) {
-	defer s.execWG.Done()
-	part := ex.part
-	n := len(part.members)
-	got := make(map[int]memberReport, n)
-	var tickC <-chan time.Time
-	if s.cfg.Faults != nil {
-		tick := time.NewTicker(2 * time.Millisecond)
-		defer tick.Stop()
-		tickC = tick.C
-	}
-	for len(got) < n {
-		select {
-		case rep := <-ex.reports:
-			got[rep.member] = rep
-		case <-tickC:
-			for m, wr := range part.members {
-				if _, ok := got[m]; !ok && s.world.RankDead(wr) {
-					got[m] = memberReport{
-						member: m,
-						err:    &mpi.RankFailedError{Rank: wr, Op: "serve"},
-					}
-				}
-			}
-		}
-	}
-
-	var counters mpi.CounterSnapshot
-	var maxClock float64
-	var execErr error
-	for m := 0; m < n; m++ {
-		rep := got[m]
-		addCounters(&counters, rep.counters)
-		if rep.clockDelta > maxClock {
-			maxClock = rep.clockDelta
-		}
-		if rep.err != nil && execErr == nil {
-			execErr = rep.err
-		}
-	}
-	leader := got[0]
-	service := time.Since(ex.dispatched)
-	if s.world.Virtual() {
-		service = time.Duration(maxClock * float64(time.Second))
-	}
-
-	// Free the partition before resolving futures so the next job
-	// overlaps with result delivery.
-	s.release(part)
-	s.finishExec(ex, leader, execErr, counters, service)
-}
-
-// finishExec resolves (or requeues) every job of an execution.
-func (s *Server) finishExec(ex *jobExec, leader memberReport, execErr error,
-	counters mpi.CounterSnapshot, service time.Duration) {
-	n := ex.jobs[0].spec.N
-	for bi, j := range ex.jobs {
-		if execErr != nil {
-			s.failOrRetry(j, execErr)
-			continue
-		}
-		res := JobResult{
-			Partition: ex.part.index,
-			BatchSize: len(ex.jobs),
-			Retries:   j.retries,
-			QueueWait: j.dispatched.Sub(j.submit),
-			Service:   service,
-			Counters:  counters,
-		}
-		if len(ex.jobs) > 1 && leader.r != nil {
-			res.R = extractR(leader.r, bi, n)
-		} else {
-			res.R = leader.r
-		}
-		res.X, res.Resid = leader.x, leader.resid
-		s.metrics.completed.Inc()
-		s.metrics.service.Observe(service.Seconds())
-		s.metrics.latency.Observe(time.Since(j.submit).Seconds())
-		t := counters.Total()
-		s.metrics.jobMsgs.Observe(float64(t.Msgs))
-		s.metrics.jobBytes.Observe(t.Bytes)
-		s.obs.completed(j, &res)
-		j.complete(res)
-	}
-	s.metrics.inflight.Set(float64(s.obs.inFlight()))
-}
-
-// failOrRetry requeues a job after a retryable failure (rank death,
-// FT abort, timeout) while healthy partitions and retry budget remain;
-// otherwise it completes the job with the error.
-func (s *Server) failOrRetry(j *Job, execErr error) {
-	if retryable(execErr) && j.retries < s.cfg.MaxRetries && s.healthyCount.Load() > 0 {
-		j.retries++
-		j.spec.Batchable = false // retry alone: no shared fate twice
-		if s.queue.pushRetry(j) == nil {
-			s.metrics.retries.Inc()
-			s.obs.retried(j, execErr)
-			return
-		}
-	}
-	s.metrics.failed.Inc()
-	s.obs.failed(j, -1, execErr)
-	j.complete(JobResult{
-		Err: execErr, Partition: -1, Retries: j.retries,
-		QueueWait: j.dispatched.Sub(j.submit),
-	})
 }
 
 // retryable reports whether an execution error is worth another

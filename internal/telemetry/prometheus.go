@@ -182,9 +182,12 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 					le := fmt.Sprintf("le=%q", formatValue(BucketUpper(i)))
 					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, le), cum)
 				}
-				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, `le="+Inf"`), s.h.Count())
+				// The +Inf bucket and _count derive from the same bucket
+				// snapshot, not a second Count() read: a scrape racing
+				// Observe must still satisfy +Inf == _count.
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, joinLabels(s.labels, `le="+Inf"`), cum)
 				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, joinLabels(s.labels, ""), formatValue(s.h.Sum()))
-				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, joinLabels(s.labels, ""), s.h.Count())
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, joinLabels(s.labels, ""), cum)
 			}
 		}
 	}
