@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline benchkern baseline-kern scale
+.PHONY: build test race vet fmt-check check fuzz bench perfgate baseline benchkern baseline-kern scale stream stream-smoke
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # engine's worker pool must be race-clean; short mode keeps this fast
 # enough for every commit.
 race:
-	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched ./internal/blas ./internal/elastic ./internal/monitor
+	$(GO) test -race -short ./internal/mpi ./internal/core ./internal/scalapack ./internal/telemetry ./internal/sched ./internal/blas ./internal/elastic ./internal/monitor ./internal/stream
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +32,7 @@ check: build vet fmt-check test race
 # bytes and simulated seconds within tight relative tolerance). The
 # committed scale sweep is gated up to SCALE_MAX_RANKS ranks; the
 # nightly job sets 0 to re-run the full 32k sweep.
-BASELINE ?= results/BENCH_9.json
+BASELINE ?= results/BENCH_10.json
 SCALE_MAX_RANKS ?= 4096
 
 perfgate:
@@ -44,6 +44,18 @@ perfgate:
 scale:
 	$(GO) run ./cmd/gridbench -scale -ranks 4096
 	$(GO) test -run 'TestScale' -v ./internal/bench
+
+# Open-loop streaming-ingest study: the full ingest-rate ladder with
+# snapshot barriers on schedule (the EXPERIMENTS.md table).
+stream:
+	$(GO) run ./cmd/gridbench -stream
+
+# Bounded ingest plus the snapshot-equivalence tests — the CI `stream`
+# job. -count=1 defeats the test cache so the bitwise fold-vs-one-shot
+# contract genuinely re-executes.
+stream-smoke:
+	$(GO) run ./cmd/gridbench -stream -quick
+	$(GO) test -count=1 -run 'TestStreamIncrementalMatchesOneShot|TestStreamSnapshotExactCounts|TestRoundIncrementalEqualsOneShot|TestFolderGranularityInvariance|TestOutOfCoreBitwise' ./internal/sched ./internal/stream
 
 # Regenerate the committed baseline after an intentional change to the
 # algorithms' communication or computation structure.
@@ -59,6 +71,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDger -fuzztime=15s ./internal/blas
 	$(GO) test -fuzz=FuzzDtrsm -fuzztime=15s ./internal/blas
 	$(GO) test -fuzz=FuzzTraceReplay -fuzztime=15s ./internal/elastic
+	$(GO) test -fuzz=FuzzIncrementalFold -fuzztime=15s ./internal/stream
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

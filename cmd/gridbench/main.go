@@ -47,8 +47,11 @@ func main() {
 	baseline := flag.String("baseline", "", "re-run the standard benchmark set and fail if it drifts from this committed JSON report (the CI perf gate)")
 	serve := flag.Bool("serve", false, "run the closed-loop serving benchmark: concurrent TSQR jobs space-shared over site partitions, throughput and latency vs offered load")
 	load := flag.Bool("load", false, "run the open-loop serving benchmark: a trace-driven arrival process with the SLO-driven autoscaler in the loop, latency and shedding vs offered load")
+	streamMode := flag.Bool("stream", false, "run the open-loop streaming-ingest benchmark: row-blocks folded incrementally into one long-lived stream, snapshot-barrier latency vs ingest rate")
+	blocks := flag.Int("blocks", bench.StreamBlocksPerPoint, "with -stream: blocks ingested per rate point")
+	snapEvery := flag.Int("snapshot-every", bench.StreamSnapshotEvery, "with -stream: fire a snapshot barrier after every this many blocks")
 	arrival := flag.String("arrival", "poisson", "with -load: arrival process (poisson, bursty, diurnal)")
-	ratesFlag := flag.String("rates", "", "with -load: comma-separated offered rates in jobs/s (default the standard ladder)")
+	ratesFlag := flag.String("rates", "", "with -load/-stream: comma-separated offered rates in jobs/s resp. blocks/s (default the standard ladder)")
 	arrivals := flag.Int("arrivals", bench.LoadArrivals, "with -load: arrivals per load point")
 	queueCap := flag.Int("queue-cap", 0, "with -load: admission queue bound; arrivals past it are shed typed (0 = default)")
 	noAutoscale := flag.Bool("no-autoscale", false, "with -load: pin the plan to the ladder's lowest level instead of autoscaling")
@@ -68,9 +71,11 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
 	cli := serveFlags{
-		serve: *serve, load: *load, listen: *listen, drainTimeout: *drainTimeout,
+		serve: *serve, load: *load, stream: *streamMode,
+		listen: *listen, drainTimeout: *drainTimeout,
 		verbose: *verbose, arrival: *arrival, rates: *ratesFlag,
 		arrivals: *arrivals, queueCap: *queueCap, noAutoscale: *noAutoscale,
+		blocks: *blocks, snapEvery: *snapEvery,
 	}
 	if err := validateServeFlags(set, cli); err != nil {
 		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -129,7 +134,7 @@ func main() {
 		if *fig == "all" {
 			*fig = ""
 		}
-		rates, err := parseRates(*ratesFlag)
+		rates, err := parseRates(*ratesFlag, bench.StandardLoadRates)
 		if err != nil { // unreachable: validateServeFlags already parsed it
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
 			os.Exit(2)
@@ -140,6 +145,24 @@ func main() {
 		}
 		if !runLoad(g, *arrival, rates, n, *queueCap, *noAutoscale,
 			*verbose, *listen, *drainTimeout) {
+			os.Exit(1)
+		}
+	}
+	if *streamMode {
+		ran = true
+		if *fig == "all" {
+			*fig = ""
+		}
+		rates, err := parseRates(*ratesFlag, bench.StandardStreamRates)
+		if err != nil { // unreachable: validateServeFlags already parsed it
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			os.Exit(2)
+		}
+		b := *blocks
+		if *quick {
+			b = min(b, 2**snapEvery)
+		}
+		if !runStream(g, rates, b, *snapEvery, *verbose, *listen, *drainTimeout) {
 			os.Exit(1)
 		}
 	}
@@ -179,6 +202,7 @@ func main() {
 		rep.TraceOverhead = &to
 		rep.Scale = bench.ScaleStudy(*ranks, nil)
 		rep.Load = bench.BuildLoadRuns(g)
+		rep.Stream = bench.BuildStreamRuns(g)
 		f, err := os.Create(*jsonOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
@@ -416,15 +440,17 @@ func runServe(g *grid.Grid, loads []int, verbose bool, listen string,
 // serveFlags carries the serving-mode CLI surface for validation: which
 // modes were requested plus every flag scoped to them.
 type serveFlags struct {
-	serve, load  bool
-	listen       string
-	drainTimeout time.Duration
-	verbose      bool
-	arrival      string
-	rates        string
-	arrivals     int
-	queueCap     int
-	noAutoscale  bool
+	serve, load, stream bool
+	listen              string
+	drainTimeout        time.Duration
+	verbose             bool
+	arrival             string
+	rates               string
+	arrivals            int
+	queueCap            int
+	noAutoscale         bool
+	blocks              int
+	snapEvery           int
 }
 
 // validateServeFlags rejects contradictory serving-flag combinations up
@@ -433,20 +459,22 @@ type serveFlags struct {
 // flags the user passed explicitly (flag.Visit), so defaults never
 // trigger scope errors.
 func validateServeFlags(set map[string]bool, f serveFlags) error {
-	serving := f.serve || f.load
+	serving := f.serve || f.load || f.stream
 	scoped := []struct {
 		name  string
 		scope string
 		ok    bool
 	}{
-		{"listen", "-serve or -load", serving},
-		{"drain-timeout", "-serve or -load", serving},
-		{"v", "-serve or -load", serving},
+		{"listen", "-serve, -load or -stream", serving},
+		{"drain-timeout", "-serve, -load or -stream", serving},
+		{"v", "-serve, -load or -stream", serving},
 		{"arrival", "-load", f.load},
-		{"rates", "-load", f.load},
+		{"rates", "-load or -stream", f.load || f.stream},
 		{"arrivals", "-load", f.load},
 		{"queue-cap", "-load", f.load},
 		{"no-autoscale", "-load", f.load},
+		{"blocks", "-stream", f.stream},
+		{"snapshot-every", "-stream", f.stream},
 	}
 	for _, s := range scoped {
 		if set[s.name] && !s.ok {
@@ -462,7 +490,7 @@ func validateServeFlags(set map[string]bool, f serveFlags) error {
 		default:
 			return fmt.Errorf("-arrival must be poisson, bursty or diurnal, got %q", f.arrival)
 		}
-		if _, err := parseRates(f.rates); err != nil {
+		if _, err := parseRates(f.rates, bench.StandardLoadRates); err != nil {
 			return err
 		}
 		if f.arrivals <= 0 {
@@ -472,13 +500,25 @@ func validateServeFlags(set map[string]bool, f serveFlags) error {
 			return fmt.Errorf("-queue-cap must be positive, got %d", f.queueCap)
 		}
 	}
+	if f.stream {
+		if _, err := parseRates(f.rates, bench.StandardStreamRates); err != nil {
+			return err
+		}
+		if f.blocks <= 0 {
+			return fmt.Errorf("-blocks must be positive, got %d", f.blocks)
+		}
+		if f.snapEvery <= 0 {
+			return fmt.Errorf("-snapshot-every must be positive, got %d", f.snapEvery)
+		}
+	}
 	return nil
 }
 
-// parseRates parses the -rates list; empty selects the standard ladder.
-func parseRates(s string) ([]float64, error) {
+// parseRates parses the -rates list; empty selects the mode's standard
+// ladder.
+func parseRates(s string, def []float64) ([]float64, error) {
 	if s == "" {
-		return bench.StandardLoadRates, nil
+		return def, nil
 	}
 	var rates []float64
 	for _, part := range strings.Split(s, ",") {
@@ -582,6 +622,91 @@ func runLoad(g *grid.Grid, arrival string, rates []float64, arrivals, queueCap i
 	}
 }
 
+// runStream drives the open-loop streaming-ingest sweep under the same
+// signal-aware context and monitoring endpoint as runLoad. It returns
+// false — a nonzero exit — when the study errors, the drain times out,
+// or any accepted block was lost.
+func runStream(g *grid.Grid, rates []float64, blocks, snapEvery int,
+	verbose bool, listen string, drainTimeout time.Duration) bool {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := bench.StreamOptions{
+		SnapshotEvery: snapEvery,
+		DrainTimeout:  drainTimeout,
+	}
+	if verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	var last struct {
+		sync.Mutex
+		srv *sched.Server
+	}
+	swap := monitor.NewSwappable()
+	opts.OnPoint = func(srv *sched.Server, reg *telemetry.Registry) {
+		last.Lock()
+		last.srv = srv
+		last.Unlock()
+		swap.Set(monitor.Config{
+			Registry: reg,
+			Jobs:     func() any { return srv.Jobs() },
+			Trace:    srv.TraceTail,
+		})
+	}
+	if listen != "" {
+		mon, err := monitor.StartHandler(listen, swap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+			return false
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = mon.Shutdown(sctx)
+			cancel()
+		}()
+		fmt.Printf("monitoring on http://%s/metrics (also /healthz /jobs /trace /debug/pprof)\n\n",
+			mon.Addr())
+	}
+
+	rows, err := bench.StreamStudy(ctx, g, rates, blocks, opts)
+	if len(rows) > 0 {
+		fmt.Println(bench.FormatStream(g, rows))
+	}
+
+	last.Lock()
+	srv := last.srv
+	last.Unlock()
+	if srv != nil {
+		slo := srv.SLO()
+		fmt.Printf("final SLO (last rate point): blocks=%d snapshots=%d shed=%d retries=%d preempted=%d\n",
+			slo.StreamBlocks, slo.StreamSnapshots, slo.StreamShed, slo.Retries, slo.Preempted)
+		fmt.Printf("fold p50=%.4gs p99=%.4gs; snapshot p50=%.4gs p99=%.4gs\n\n",
+			slo.StreamFold.P50, slo.StreamFold.P99,
+			slo.StreamSnapshot.P50, slo.StreamSnapshot.P99)
+	}
+
+	var lost int
+	for _, r := range rows {
+		lost += r.Lost
+	}
+	switch {
+	case lost > 0:
+		fmt.Fprintf(os.Stderr, "gridbench: %d accepted block(s) lost\n", lost)
+		return false
+	case err == nil:
+		return true
+	case errors.Is(err, context.Canceled):
+		fmt.Printf("shutdown: drained accepted blocks cleanly after signal (%d rate point(s) finished)\n",
+			len(rows))
+		return true
+	default:
+		fmt.Fprintf(os.Stderr, "gridbench: %v\n", err)
+		return false
+	}
+}
+
 // adaptSweepsTo clamps the paper's sweep parameters to what a custom
 // platform can support: site counts within the cluster count, and domain
 // counts that divide every cluster's processor count.
@@ -658,6 +783,9 @@ func perfGate(g *grid.Grid, baselinePath, platform string, scaleMaxRanks int) bo
 	}
 	if len(want.Load) > 0 {
 		got.Load = bench.BuildLoadRuns(g)
+	}
+	if len(want.Stream) > 0 {
+		got.Stream = bench.BuildStreamRuns(g)
 	}
 	diffs := bench.CompareReports(got, want, bench.Tolerances{ScaleMaxRanks: scaleMaxRanks})
 	if len(diffs) == 0 {

@@ -111,6 +111,60 @@ func CompareReports(got, want Report, tol Tolerances) []string {
 	diffs = append(diffs, compareTraceOverhead(got.TraceOverhead, want.TraceOverhead, tol)...)
 	diffs = append(diffs, compareScale(got.Scale, want.Scale, tol, relOff)...)
 	diffs = append(diffs, compareLoad(got.Load, want.Load, tol, relOff)...)
+	diffs = append(diffs, compareStream(got.Stream, want.Stream, tol, relOff)...)
+	return diffs
+}
+
+// compareStream diffs the streaming study's deterministic fields: block
+// and snapshot counts come from the fixed ingest schedule, Lost must be
+// zero (an accepted block never silently disappears, under any
+// fold/barrier interleaving the host produces), the partition size pins
+// the sharding, and per-snapshot traffic is exactly the reduction tree
+// over the partition's running R's. Fold/snapshot latency and throughput
+// depend on host timing and are deliberately never gated.
+func compareStream(got, want []StreamRun, tol Tolerances, relOff func(a, b float64) float64) []string {
+	streamKey := func(r StreamRun) string {
+		return fmt.Sprintf("stream/rate=%g", r.RatePerS)
+	}
+	byKey := make(map[string]StreamRun, len(got))
+	for _, r := range got {
+		byKey[streamKey(r)] = r
+	}
+	var diffs []string
+	for _, w := range want {
+		key := streamKey(w)
+		g, ok := byKey[key]
+		if !ok {
+			diffs = append(diffs, fmt.Sprintf("%s: present in baseline but not measured", key))
+			continue
+		}
+		if g.Blocks != w.Blocks {
+			diffs = append(diffs, fmt.Sprintf("%s: blocks %d != baseline %d", key, g.Blocks, w.Blocks))
+		}
+		if g.Snapshots != w.Snapshots {
+			diffs = append(diffs, fmt.Sprintf("%s: snapshots %d != baseline %d",
+				key, g.Snapshots, w.Snapshots))
+		}
+		if g.Procs != w.Procs {
+			diffs = append(diffs, fmt.Sprintf("%s: partition size %d != baseline %d",
+				key, g.Procs, w.Procs))
+		}
+		if g.Lost != 0 {
+			diffs = append(diffs, fmt.Sprintf("%s: %d accepted blocks lost", key, g.Lost))
+		}
+		if g.MsgsPerSnapshot != w.MsgsPerSnapshot {
+			diffs = append(diffs, fmt.Sprintf("%s: msgs/snapshot %d != baseline %d",
+				key, g.MsgsPerSnapshot, w.MsgsPerSnapshot))
+		}
+		if g.InterSiteMsgsPerSnapshot != w.InterSiteMsgsPerSnapshot {
+			diffs = append(diffs, fmt.Sprintf("%s: inter-site msgs/snapshot %d != baseline %d",
+				key, g.InterSiteMsgsPerSnapshot, w.InterSiteMsgsPerSnapshot))
+		}
+		if off := relOff(g.BytesPerSnapshot, w.BytesPerSnapshot); off > tol.RelBytes {
+			diffs = append(diffs, fmt.Sprintf("%s: bytes/snapshot %g vs baseline %g (rel %.2g > %.2g)",
+				key, g.BytesPerSnapshot, w.BytesPerSnapshot, off, tol.RelBytes))
+		}
+	}
 	return diffs
 }
 

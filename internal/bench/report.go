@@ -34,6 +34,11 @@ type Report struct {
 	// per-job traffic gate; the admission split, latency quantiles and
 	// throughput are host-dependent and informational.
 	Load []LoadRun `json:"load,omitempty"`
+	// Stream holds the open-loop streaming-ingest sweep (PR 10). Block
+	// and snapshot counts, the zero-lost invariant and the exact
+	// per-snapshot message counts gate; fold/snapshot latency and
+	// throughput are host-dependent and informational.
+	Stream []StreamRun `json:"stream,omitempty"`
 }
 
 // ReportRun is one experiment point of a Report.

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gridqr/internal/grid"
+	"gridqr/internal/perfmodel"
+)
+
+// TestStreamStudySmoke runs one ingest-rate point on a small grid and
+// pins the accounting invariants: every scheduled block folds (zero
+// lost), the snapshot count follows the fixed schedule, and per-snapshot
+// traffic is exactly the reduction tree over the partition's running
+// R's regardless of how folds interleaved with the barriers.
+func TestStreamStudySmoke(t *testing.T) {
+	g := grid.SmallTestGrid(4, 1, 2) // paired sites: 2 partitions of 4 ranks
+	rows, err := StreamStudy(context.Background(), g, []float64{2000}, 40,
+		StreamOptions{SnapshotEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Blocks != 40 || r.Snapshots != 4 {
+		t.Fatalf("blocks=%d snapshots=%d, want 40/4", r.Blocks, r.Snapshots)
+	}
+	if r.Lost != 0 {
+		t.Errorf("lost %d accepted blocks", r.Lost)
+	}
+	if r.Procs != 4 {
+		t.Errorf("partition size %d, want 4", r.Procs)
+	}
+	// A snapshot barrier over a 4-rank two-site partition is exactly the
+	// static tree: 3 messages, 1 of them inter-site — no matter how many
+	// folds shared the round.
+	want := perfmodel.StreamSnapshotExact(ServeN, 4)
+	if float64(r.MsgsPerSnapshot) != want.Msgs {
+		t.Errorf("msgs/snapshot=%d, want %g", r.MsgsPerSnapshot, want.Msgs)
+	}
+	if r.InterSiteMsgsPerSnapshot != int64(perfmodel.TSQRExactCrossSite(2)) {
+		t.Errorf("inter-site msgs/snapshot=%d, want 1", r.InterSiteMsgsPerSnapshot)
+	}
+	if r.BytesPerSnapshot != want.Volume {
+		t.Errorf("bytes/snapshot=%g, want %g", r.BytesPerSnapshot, want.Volume)
+	}
+	if r.ThroughputBPS <= 0 {
+		t.Errorf("throughput=%g, want positive", r.ThroughputBPS)
+	}
+	if out := FormatStream(g, rows); !strings.Contains(out, "msgs/snap") {
+		t.Errorf("FormatStream missing header:\n%s", out)
+	}
+}
+
+// TestStreamStudyCancel pins the ctx contract: cancellation stops the
+// arrival process and the partial rows come back with ctx's error.
+func TestStreamStudyCancel(t *testing.T) {
+	g := grid.SmallTestGrid(2, 1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := StreamStudy(ctx, g, []float64{100, 100}, 1000, StreamOptions{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range rows {
+		if r.Lost != 0 {
+			t.Errorf("canceled run lost %d blocks", r.Lost)
+		}
+	}
+}

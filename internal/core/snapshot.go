@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"gridqr/internal/flops"
+	"gridqr/internal/lapack"
+	"gridqr/internal/matrix"
+	"gridqr/internal/mpi"
+)
+
+// Snapshot messages use their own tag namespace between rTagBase and
+// qTagBase so a snapshot barrier can never alias a factorization merge
+// on the same communicator.
+const (
+	snapTagBase  = 3 << 20
+	snapFinalTag = 1<<23 - 2
+)
+
+// ShouldStop exposes the gate's stage-latching decision to staged
+// executors outside this package (internal/stream gates its block folds
+// on the same upward-closed agreement the staged TSQR uses). The
+// contract is shouldStop's: one latched verdict per stage, the stopped
+// set upward-closed, so every rank querying a stage sees the same
+// answer without communication.
+func (g *PreemptGate) ShouldStop(stage int) bool {
+	return g.shouldStop(stage)
+}
+
+// SnapshotR runs the TSQR reduction tree over per-rank n×n running R
+// factors and returns the global R on comm rank 0 (nil elsewhere, and
+// nil everywhere in cost-only mode). It is the read side of incremental
+// TSQR: the inputs are not mutated (StackQR clones), so each rank's
+// running R keeps absorbing blocks after the snapshot as if it never
+// happened.
+//
+// The walk is exactly Factorize's combine loop — same schedule, same
+// fold order, same packed triangles — on a dedicated tag namespace, so
+// a snapshot of per-rank R's equals the R that Factorize would have
+// produced from the same leaves, bit for bit, and costs exactly the
+// perfmodel's TSQRExactTotals(n, p) messages (the grid tree roots at
+// rank 0; topology-oblivious trees add the usual final delivery hop).
+//
+// Requires one domain per process, like the staged executor: the
+// running state is one R per rank.
+func SnapshotR(comm *mpi.Comm, r *matrix.Dense, n int, cfg Config) *matrix.Dense {
+	ctx := comm.Ctx()
+	if n <= 0 {
+		panic(fmt.Sprintf("core: snapshot needs positive n, got %d", n))
+	}
+	cs := scheduleFor(comm, cfg)
+	l, rootDom := cs.l, cs.rootDom
+	if len(l.domains) != comm.Size() {
+		panic(fmt.Sprintf("core: snapshot needs one domain per process (got %d domains, %d procs)",
+			len(l.domains), comm.Size()))
+	}
+	me := comm.Rank()
+	if ctx.HasData() && (r == nil || r.Rows != n || r.Cols != n) {
+		panic("core: snapshot needs an n×n running R in data mode")
+	}
+	dom := l.mine(me)
+
+	absorbed := false
+	for _, dm := range cs.perDom[dom.id] {
+		tag, m := dm.tag, dm.m
+		if m.dst == dom.id {
+			src := l.domains[m.src].leader()
+			if ctx.HasData() {
+				rOther := unpackTriu(comm.Recv(src, snapTagBase+tag), n)
+				r, _, _ = lapack.StackQR(r, rOther)
+			} else {
+				comm.Recv(src, snapTagBase+tag)
+			}
+			ctx.ChargeKernel("stack_qr", flops.StackQR(n), n)
+		} else {
+			dst := l.domains[m.dst].leader()
+			if ctx.HasData() {
+				comm.Send(dst, packTriu(r), snapTagBase+tag)
+			} else {
+				comm.SendBytes(dst, triuBytes(n), snapTagBase+tag)
+			}
+			absorbed = true
+			break // my R has been absorbed into the snapshot; forward pass over
+		}
+	}
+
+	rootLeader := l.domains[rootDom].leader()
+	switch {
+	case me == rootLeader && rootLeader != 0 && !absorbed:
+		if ctx.HasData() {
+			comm.Send(0, packTriu(r), snapFinalTag)
+		} else {
+			comm.SendBytes(0, triuBytes(n), snapFinalTag)
+		}
+		return nil
+	case me == 0 && rootLeader != 0:
+		if buf := comm.Recv(rootLeader, snapFinalTag); ctx.HasData() {
+			r = unpackTriu(buf, n)
+		}
+		absorbed = false
+	}
+	if me == 0 && !absorbed && ctx.HasData() {
+		return r
+	}
+	return nil
+}

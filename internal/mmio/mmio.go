@@ -2,56 +2,74 @@
 // exchange format (the `%%MatrixMarket matrix array real general` and
 // `coordinate real general` variants), so the command-line tools can
 // factor matrices produced by other numerical software.
+//
+// Beyond the densifying Read, the package offers a true streaming path
+// for out-of-core factorization: ReadPanels walks a row-ordered
+// coordinate stream and hands out consecutive row panels with O(panel)
+// memory residency, and WriteRows emits the row-ordered coordinate
+// layout ReadPanels consumes.
 package mmio
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
 	"gridqr/internal/matrix"
 )
 
-// Read parses a Matrix Market stream into a dense matrix. Supported
-// headers: `matrix array real general` (column-major dense) and
-// `matrix coordinate real general` (sparse triplets, densified).
-// Integer and pattern fields are promoted to real; symmetric storage is
-// mirrored.
-func Read(r io.Reader) (*matrix.Dense, error) {
+// header carries the parsed `%%MatrixMarket` banner fields.
+type header struct {
+	layout   string // array | coordinate
+	field    string // real | integer | pattern
+	symmetry string // general | symmetric
+}
+
+// newScanner wraps the input with the line scanner both readers share.
+// bufio.Scanner pulls from the reader incrementally, so residency is the
+// scan buffer, never the file.
+func newScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return sc
+}
+
+// parseHeader consumes the banner line plus comments and returns the
+// header and the whitespace-split size line.
+func parseHeader(sc *bufio.Scanner) (header, []string, error) {
+	var h header
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mmio: empty input")
+		return h, nil, fmt.Errorf("mmio: empty input")
 	}
-	header := strings.Fields(strings.ToLower(sc.Text()))
-	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("mmio: not a MatrixMarket matrix header: %q", sc.Text())
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 4 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" {
+		return h, nil, fmt.Errorf("mmio: not a MatrixMarket matrix header: %q", sc.Text())
 	}
-	layout := header[2] // array | coordinate
-	field := header[3]  // real | integer | pattern
-	symmetry := "general"
-	if len(header) >= 5 {
-		symmetry = header[4]
+	h.layout = banner[2]
+	h.field = banner[3]
+	h.symmetry = "general"
+	if len(banner) >= 5 {
+		h.symmetry = banner[4]
 	}
-	switch layout {
+	switch h.layout {
 	case "array", "coordinate":
 	default:
-		return nil, fmt.Errorf("mmio: unsupported layout %q", layout)
+		return h, nil, fmt.Errorf("mmio: unsupported layout %q", h.layout)
 	}
-	switch field {
+	switch h.field {
 	case "real", "integer", "pattern":
 	default:
-		return nil, fmt.Errorf("mmio: unsupported field %q", field)
+		return h, nil, fmt.Errorf("mmio: unsupported field %q", h.field)
 	}
-	switch symmetry {
+	switch h.symmetry {
 	case "general", "symmetric":
 	default:
-		return nil, fmt.Errorf("mmio: unsupported symmetry %q", symmetry)
+		return h, nil, fmt.Errorf("mmio: unsupported symmetry %q", h.symmetry)
 	}
 
-	// Skip comments, find the size line.
 	var sizeLine string
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -62,31 +80,65 @@ func Read(r io.Reader) (*matrix.Dense, error) {
 		break
 	}
 	if sizeLine == "" {
-		return nil, fmt.Errorf("mmio: missing size line")
+		return h, nil, fmt.Errorf("mmio: missing size line")
 	}
-	dims := strings.Fields(sizeLine)
+	return h, strings.Fields(sizeLine), nil
+}
 
-	if layout == "array" {
+// checkDims validates a dimension pair against both sign and the m*n
+// products the densifying reader allocates: a hostile or corrupt header
+// like `9999999999999 9999999999999` must fail cleanly instead of
+// overflowing int and panicking inside make.
+func checkDims(m, n int) error {
+	if m < 0 || n < 0 {
+		return fmt.Errorf("mmio: negative dimensions %d×%d", m, n)
+	}
+	if n != 0 && m > math.MaxInt/n {
+		return fmt.Errorf("mmio: dimensions %d×%d overflow", m, n)
+	}
+	return nil
+}
+
+// Read parses a Matrix Market stream into a dense matrix. Supported
+// headers: `matrix array real general` (column-major dense) and
+// `matrix coordinate real general` (sparse triplets, densified).
+// Integer and pattern fields are promoted to real; symmetric storage is
+// mirrored; duplicate coordinate entries are summed (the scipy/MM
+// convention).
+func Read(r io.Reader) (*matrix.Dense, error) {
+	sc := newScanner(r)
+	h, dims, err := parseHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	if h.layout == "array" {
 		if len(dims) != 2 {
-			return nil, fmt.Errorf("mmio: array size line needs 2 fields, got %q", sizeLine)
+			return nil, fmt.Errorf("mmio: array size line needs 2 fields, got %q", strings.Join(dims, " "))
 		}
 		m, err1 := strconv.Atoi(dims[0])
 		n, err2 := strconv.Atoi(dims[1])
-		if err1 != nil || err2 != nil || m < 0 || n < 0 {
-			return nil, fmt.Errorf("mmio: bad dimensions %q", sizeLine)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("mmio: bad dimensions %q", strings.Join(dims, " "))
 		}
-		return readArray(sc, m, n, symmetry)
+		if err := checkDims(m, n); err != nil {
+			return nil, err
+		}
+		return readArray(sc, m, n, h.symmetry)
 	}
 	if len(dims) != 3 {
-		return nil, fmt.Errorf("mmio: coordinate size line needs 3 fields, got %q", sizeLine)
+		return nil, fmt.Errorf("mmio: coordinate size line needs 3 fields, got %q", strings.Join(dims, " "))
 	}
 	m, err1 := strconv.Atoi(dims[0])
 	n, err2 := strconv.Atoi(dims[1])
 	nnz, err3 := strconv.Atoi(dims[2])
-	if err1 != nil || err2 != nil || err3 != nil || m < 0 || n < 0 || nnz < 0 {
-		return nil, fmt.Errorf("mmio: bad coordinate sizes %q", sizeLine)
+	if err1 != nil || err2 != nil || err3 != nil || nnz < 0 {
+		return nil, fmt.Errorf("mmio: bad coordinate sizes %q", strings.Join(dims, " "))
 	}
-	return readCoordinate(sc, m, n, nnz, field, symmetry)
+	if err := checkDims(m, n); err != nil {
+		return nil, err
+	}
+	return readCoordinate(sc, m, n, nnz, h.field, h.symmetry)
 }
 
 func readArray(sc *bufio.Scanner, m, n int, symmetry string) (*matrix.Dense, error) {
@@ -131,6 +183,39 @@ func readArray(sc *bufio.Scanner, m, n int, symmetry string) (*matrix.Dense, err
 	return a, nil
 }
 
+// coordEntry is one parsed coordinate triplet (0-based indices).
+type coordEntry struct {
+	i, j int
+	v    float64
+}
+
+// parseCoordLine parses one coordinate data line against the header's
+// field, validating 1-based indices against m×n.
+func parseCoordLine(line string, m, n int, field string) (coordEntry, error) {
+	f := strings.Fields(line)
+	minFields := 3
+	if field == "pattern" {
+		minFields = 2
+	}
+	if len(f) < minFields {
+		return coordEntry{}, fmt.Errorf("mmio: short entry %q", line)
+	}
+	i, err1 := strconv.Atoi(f[0])
+	j, err2 := strconv.Atoi(f[1])
+	if err1 != nil || err2 != nil || i < 1 || i > m || j < 1 || j > n {
+		return coordEntry{}, fmt.Errorf("mmio: bad indices %q", line)
+	}
+	v := 1.0
+	if field != "pattern" {
+		var err error
+		v, err = strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return coordEntry{}, fmt.Errorf("mmio: bad value %q", line)
+		}
+	}
+	return coordEntry{i: i - 1, j: j - 1, v: v}, nil
+}
+
 func readCoordinate(sc *bufio.Scanner, m, n, nnz int, field, symmetry string) (*matrix.Dense, error) {
 	a := matrix.New(m, n)
 	read := 0
@@ -139,30 +224,13 @@ func readCoordinate(sc *bufio.Scanner, m, n, nnz int, field, symmetry string) (*
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
-		f := strings.Fields(line)
-		minFields := 3
-		if field == "pattern" {
-			minFields = 2
+		e, err := parseCoordLine(line, m, n, field)
+		if err != nil {
+			return nil, err
 		}
-		if len(f) < minFields {
-			return nil, fmt.Errorf("mmio: short entry %q", line)
-		}
-		i, err1 := strconv.Atoi(f[0])
-		j, err2 := strconv.Atoi(f[1])
-		if err1 != nil || err2 != nil || i < 1 || i > m || j < 1 || j > n {
-			return nil, fmt.Errorf("mmio: bad indices %q", line)
-		}
-		v := 1.0
-		if field != "pattern" {
-			var err error
-			v, err = strconv.ParseFloat(f[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("mmio: bad value %q", line)
-			}
-		}
-		a.Set(i-1, j-1, v)
-		if symmetry == "symmetric" && i != j {
-			a.Set(j-1, i-1, v)
+		a.Set(e.i, e.j, a.At(e.i, e.j)+e.v)
+		if symmetry == "symmetric" && e.i != e.j {
+			a.Set(e.j, e.i, a.At(e.j, e.i)+e.v)
 		}
 		read++
 	}

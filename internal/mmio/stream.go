@@ -1,0 +1,147 @@
+package mmio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"gridqr/internal/matrix"
+)
+
+// ErrRowOrder reports a coordinate stream whose entries are not sorted
+// by row. ReadPanels needs nondecreasing row indices to bound residency
+// at one panel; errors.Is against this sentinel distinguishes an
+// unstreamable file from a corrupt one.
+var ErrRowOrder = errors.New("mmio: coordinate entries not in row order")
+
+// ReadPanels streams a `matrix coordinate … general` Matrix Market
+// stream as consecutive row panels of at most panelRows rows each,
+// calling fn(panel, rowOffset) for every panel in row order until the
+// full row range [0, m) has been delivered. Rows absent from the stream
+// are zero; duplicate entries are summed (matching Read). Residency is
+// O(panelRows × n) plus the line buffer — the file is never held whole,
+// so matrices far larger than memory stream through.
+//
+// Entries must arrive in nondecreasing row order (column order within a
+// row is free); a decreasing row index fails with ErrRowOrder. The
+// row dimension m may be huge — unlike Read, nothing of size m×n is
+// allocated — but n must still fit a panel in memory.
+//
+// Returns the header dimensions (m, n). A non-nil error from fn aborts
+// the walk and is returned verbatim.
+func ReadPanels(r io.Reader, panelRows int, fn func(panel *matrix.Dense, rowOffset int) error) (int, int, error) {
+	if panelRows <= 0 {
+		return 0, 0, fmt.Errorf("mmio: panelRows must be positive, got %d", panelRows)
+	}
+	sc := newScanner(r)
+	h, dims, err := parseHeader(sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	if h.layout != "coordinate" {
+		return 0, 0, fmt.Errorf("mmio: ReadPanels needs coordinate layout, got %q", h.layout)
+	}
+	if h.symmetry != "general" {
+		return 0, 0, fmt.Errorf("mmio: ReadPanels needs general symmetry, got %q", h.symmetry)
+	}
+	if len(dims) != 3 {
+		return 0, 0, fmt.Errorf("mmio: coordinate size line needs 3 fields, got %q", strings.Join(dims, " "))
+	}
+	m, err1 := strconv.Atoi(dims[0])
+	n, err2 := strconv.Atoi(dims[1])
+	nnz, err3 := strconv.Atoi(dims[2])
+	if err1 != nil || err2 != nil || err3 != nil || nnz < 0 {
+		return 0, 0, fmt.Errorf("mmio: bad coordinate sizes %q", strings.Join(dims, " "))
+	}
+	if m < 0 || n < 0 {
+		return 0, 0, fmt.Errorf("mmio: negative dimensions %d×%d", m, n)
+	}
+	// Only a panel is allocated, so m may exceed what a dense m×n could
+	// hold — but the panel itself must not overflow.
+	rows := min(panelRows, m)
+	if n != 0 && rows > math.MaxInt/n {
+		return 0, 0, fmt.Errorf("mmio: panel %d×%d overflows", rows, n)
+	}
+
+	panel := matrix.New(rows, n)
+	offset := 0 // global row index of panel row 0
+	flushTo := func(row int) error {
+		// Emit full panels until `row` (global) falls inside the buffer.
+		for row >= offset+panel.Rows {
+			if err := fn(panel, offset); err != nil {
+				return err
+			}
+			offset += panel.Rows
+			panel = matrix.New(min(panelRows, m-offset), n)
+		}
+		return nil
+	}
+
+	read, prevRow := 0, 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		e, err := parseCoordLine(line, m, n, h.field)
+		if err != nil {
+			return 0, 0, err
+		}
+		if e.i < prevRow {
+			return 0, 0, fmt.Errorf("%w: row %d after row %d (entry %d)", ErrRowOrder, e.i+1, prevRow+1, read+1)
+		}
+		prevRow = e.i
+		if err := flushTo(e.i); err != nil {
+			return 0, 0, err
+		}
+		pi := e.i - offset
+		panel.Set(pi, e.j, panel.At(pi, e.j)+e.v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, fmt.Errorf("mmio: %w", err)
+	}
+	if read < nnz {
+		return 0, 0, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+	}
+	// Flush the tail: the panel holding the last entries plus all-zero
+	// panels down to row m.
+	for offset < m {
+		if err := fn(panel, offset); err != nil {
+			return 0, 0, err
+		}
+		offset += panel.Rows
+		panel = matrix.New(min(panelRows, m-offset), n)
+	}
+	return m, n, nil
+}
+
+// WriteRows emits a dense matrix in `coordinate real general` format
+// with entries sorted by row then column — exactly the order ReadPanels
+// requires — at full round-trip precision. Zero entries are skipped;
+// ReadPanels and Read both re-densify them.
+func WriteRows(w io.Writer, a *matrix.Dense) error {
+	nnz := 0
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != 0 {
+				nnz++
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", a.Rows, a.Cols, nnz)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if v := a.At(i, j); v != 0 {
+				fmt.Fprintf(bw, "%d %d %.17g\n", i+1, j+1, v)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,223 @@
+package mmio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"gridqr/internal/matrix"
+)
+
+// TestReadPanelsRoundTrip streams a WriteRows coordinate file back panel
+// by panel and reassembles it; the result must match the source exactly
+// for several panel sizes, including ones that don't divide the row
+// count.
+func TestReadPanelsRoundTrip(t *testing.T) {
+	a := matrix.Random(23, 5, 7)
+	a.Set(4, 2, 0) // exercise the zero-skipping writer
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, pr := range []int{1, 4, 23, 100} {
+		got := matrix.New(23, 5)
+		m, n, err := ReadPanels(bytes.NewReader(data), pr, func(p *matrix.Dense, off int) error {
+			for j := 0; j < p.Cols; j++ {
+				for i := 0; i < p.Rows; i++ {
+					got.Set(off+i, j, p.At(i, j))
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("panelRows=%d: %v", pr, err)
+		}
+		if m != 23 || n != 5 {
+			t.Fatalf("panelRows=%d: dims %d×%d", pr, m, n)
+		}
+		if !matrix.Equal(a, got, 0) {
+			t.Fatalf("panelRows=%d: reassembly differs", pr)
+		}
+	}
+}
+
+// TestReadPanelsResidency proves the reader is actually streaming: the
+// panel handed to fn never exceeds panelRows rows, and panels arrive in
+// strictly increasing contiguous offsets covering every row — including
+// trailing all-zero rows beyond the last entry.
+func TestReadPanelsResidency(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+100 2 3
+1 1 1.5
+2 2 -3
+40 1 9
+`
+	next := 0
+	m, n, err := ReadPanels(strings.NewReader(in), 7, func(p *matrix.Dense, off int) error {
+		if off != next {
+			return fmt.Errorf("offset %d, want %d", off, next)
+		}
+		if p.Rows > 7 || p.Cols != 2 {
+			return fmt.Errorf("panel %d×%d exceeds bound", p.Rows, p.Cols)
+		}
+		next = off + p.Rows
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 100 || n != 2 || next != 100 {
+		t.Fatalf("m=%d n=%d covered=%d", m, n, next)
+	}
+}
+
+// TestReadPanelsHugeRows: a row count that would overflow a dense
+// allocation must still stream (only a panel is resident). The callback
+// aborts after the first panel so the test stays O(1).
+func TestReadPanelsHugeRows(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+4611686018427387904 4 1
+1 1 2.5
+`
+	stop := errors.New("stop")
+	var got float64
+	_, _, err := ReadPanels(strings.NewReader(in), 8, func(p *matrix.Dense, off int) error {
+		got = p.At(0, 0)
+		return stop
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err = %v, want stop sentinel", err)
+	}
+	if got != 2.5 {
+		t.Fatalf("first panel entry = %g", got)
+	}
+}
+
+// TestReadPanelsRowOrder: decreasing row indices are a typed failure.
+func TestReadPanelsRowOrder(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+5 2 2
+3 1 1
+2 1 1
+`
+	_, _, err := ReadPanels(strings.NewReader(in), 2, func(*matrix.Dense, int) error { return nil })
+	if !errors.Is(err, ErrRowOrder) {
+		t.Fatalf("err = %v, want ErrRowOrder", err)
+	}
+}
+
+// TestReadPanelsErrors covers the header and argument validation paths.
+func TestReadPanelsErrors(t *testing.T) {
+	cases := map[string]string{
+		"array layout": "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"symmetric":    "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 1 1\n",
+		"two dims":     "%%MatrixMarket matrix coordinate real general\n2 2\n",
+		"bad nnz":      "%%MatrixMarket matrix coordinate real general\n2 2 -1\n",
+		"short":        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",
+		"bad index":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n7 1 1\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadPanels(strings.NewReader(in), 4, func(*matrix.Dense, int) error { return nil }); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	ok := "%%MatrixMarket matrix coordinate real general\n2 2 0\n"
+	if _, _, err := ReadPanels(strings.NewReader(ok), 0, func(*matrix.Dense, int) error { return nil }); err == nil {
+		t.Fatal("panelRows=0: expected error")
+	}
+}
+
+// TestCoordinateDuplicatePolicy pins the duplicate-entry policy: both
+// the densifying Read and the streaming ReadPanels sum repeated (i, j)
+// entries, matching the scipy/Matrix Market convention.
+func TestCoordinateDuplicatePolicy(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+3 2 3
+1 1 2
+1 1 3.5
+2 2 -1
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 5.5 {
+		t.Fatalf("Read duplicate sum = %g, want 5.5", a.At(0, 0))
+	}
+	var streamed float64
+	if _, _, err := ReadPanels(strings.NewReader(in), 10, func(p *matrix.Dense, off int) error {
+		if off == 0 {
+			streamed = p.At(0, 0)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if streamed != 5.5 {
+		t.Fatalf("ReadPanels duplicate sum = %g, want 5.5", streamed)
+	}
+
+	sym := `%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+2 1 1
+2 1 2
+`
+	s, err := Read(strings.NewReader(sym))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(1, 0) != 3 || s.At(0, 1) != 3 {
+		t.Fatalf("symmetric duplicate sum = %g/%g, want 3/3", s.At(1, 0), s.At(0, 1))
+	}
+}
+
+// TestReadOverflowHeaders: headers whose m*n product overflows int must
+// fail with an error, not panic or try a huge allocation.
+func TestReadOverflowHeaders(t *testing.T) {
+	cases := []string{
+		"%%MatrixMarket matrix array real general\n4611686018427387904 4611686018427387904\n",
+		"%%MatrixMarket matrix coordinate real general\n4611686018427387904 4611686018427387904 1\n1 1 1\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: expected overflow error", i)
+		} else if !strings.Contains(err.Error(), "overflow") {
+			t.Fatalf("case %d: err = %v, want overflow", i, err)
+		}
+	}
+	// A huge panel request must also be rejected up front.
+	in := "%%MatrixMarket matrix coordinate real general\n9223372036854775807 9223372036854775807 0\n"
+	if _, _, err := ReadPanels(strings.NewReader(in), 2, func(*matrix.Dense, int) error { return nil }); err == nil {
+		t.Fatal("expected panel overflow error")
+	}
+}
+
+// TestWriteRowsHeader pins the writer's banner and size line.
+func TestWriteRowsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, matrix.Eye(2)); err != nil {
+		t.Fatal(err)
+	}
+	want := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n2 2 1\n"
+	if buf.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestReadPanelsScannerError: an underlying reader failure surfaces.
+func TestReadPanelsScannerError(t *testing.T) {
+	head := "%%MatrixMarket matrix coordinate real general\n5 2 2\n1 1 1\n"
+	r := io.MultiReader(strings.NewReader(head), failReader{})
+	_, _, err := ReadPanels(r, 2, func(*matrix.Dense, int) error { return nil })
+	if err == nil {
+		t.Fatal("expected error from failing reader")
+	}
+}
+
+type failReader struct{}
+
+func (failReader) Read([]byte) (int, error) { return 0, errors.New("disk gone") }

@@ -327,3 +327,84 @@ func TestServeSmokeScrape(t *testing.T) {
 		t.Fatalf("latency quantiles not populated: %+v", slo.Latency)
 	}
 }
+
+// TestStreamJobsScrape scrapes /jobs and /metrics while a live stream
+// folds blocks and serves snapshot barriers. Stream rounds appear as
+// kind "stream" rows, every scrape is well-formed, and — run under
+// -race in CI — the job table provably never touches the folder state
+// the rounds are mutating.
+func TestStreamJobsScrape(t *testing.T) {
+	g := grid.SmallTestGrid(2, 2, 1)
+	reg := telemetry.NewRegistry()
+	srv := sched.Start(sched.Config{Grid: g, Registry: reg, Plan: sched.PerSite(g)})
+	defer srv.Close()
+	h := Handler(Config{
+		Registry: reg,
+		Jobs:     func() any { return srv.Jobs() },
+	})
+
+	sj, err := srv.SubmitStream(sched.JobSpec{N: 4, BlockRows: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	sawStream := make(chan bool, 1)
+	go func() {
+		saw := false
+		for {
+			select {
+			case <-stop:
+				sawStream <- saw
+				return
+			default:
+			}
+			code, body := get(t, h, "/jobs")
+			if code != 200 {
+				t.Errorf("/jobs -> %d mid-stream", code)
+				sawStream <- saw
+				return
+			}
+			var rows []sched.JobInfo
+			if err := json.Unmarshal([]byte(body), &rows); err != nil {
+				t.Errorf("/jobs bad JSON mid-stream: %v", err)
+				sawStream <- saw
+				return
+			}
+			for _, ji := range rows {
+				if ji.Kind == "stream" {
+					saw = true
+				}
+			}
+			code, body = get(t, h, "/metrics")
+			if code != 200 {
+				t.Errorf("/metrics -> %d mid-stream", code)
+				sawStream <- saw
+				return
+			}
+			if !strings.Contains(body, "sched_stream_blocks") {
+				t.Error("stream counters missing from /metrics")
+				sawStream <- saw
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < 30; i++ {
+		if err := sj.Ingest(1); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 0 {
+			if _, err := sj.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := sj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if !<-sawStream {
+		t.Error("no stream round ever appeared in /jobs")
+	}
+}

@@ -200,6 +200,17 @@ func (c *Comm) Sub(members []int, label string) *Comm {
 	return &Comm{ctx: c.ctx, path: c.path + "/" + label, members: world, rank: myRank}
 }
 
+// Dup returns a communicator with the same members and rank order as c
+// but a fresh tag namespace (messages are matched by path, and the dup
+// gets its own). Long-lived services use it to wall off one round of
+// traffic from the next: after a timeout abandons messages in flight on
+// c, work continues on a dup where a stale delayed message can never
+// alias a fresh tag. Like Sub it is collective-free, but every member
+// must call it with the same label to land on the same namespace.
+func (c *Comm) Dup(label string) *Comm {
+	return &Comm{ctx: c.ctx, path: c.path + "/" + label, members: c.members, rank: c.rank}
+}
+
 // splitTag is reserved for Split's internal traffic.
 const splitTag = -1
 

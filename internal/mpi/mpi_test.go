@@ -690,3 +690,30 @@ func TestStressRandomTraffic(t *testing.T) {
 		t.Fatalf("stress run not deterministic: %g vs %g", t1, t2)
 	}
 }
+
+// TestDup: a duplicated communicator has the same members but a
+// disjoint tag namespace — the same (peer, tag) pair on parent and dup
+// never cross-matches, which is what lets a long-lived stream context
+// retry rounds without aliasing stale messages.
+func TestDup(t *testing.T) {
+	w := testWorld(2)
+	w.Run(func(ctx *Ctx) {
+		c := WorldComm(ctx)
+		d := c.Dup("stream")
+		if d.Size() != c.Size() || d.Rank() != c.Rank() {
+			t.Errorf("dup shape %d/%d, want %d/%d", d.Size(), d.Rank(), c.Size(), c.Rank())
+		}
+		if ctx.Rank() == 0 {
+			// Same tag on both paths; each must match its own namespace.
+			d.Send(1, []float64{2}, 7)
+			c.Send(1, []float64{1}, 7)
+		} else {
+			if got := c.Recv(0, 7); got[0] != 1 {
+				t.Errorf("parent recv = %v, want [1]", got)
+			}
+			if got := d.Recv(0, 7); got[0] != 2 {
+				t.Errorf("dup recv = %v, want [2]", got)
+			}
+		}
+	})
+}

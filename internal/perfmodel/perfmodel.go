@@ -97,6 +97,17 @@ func PDGEQR2ExactTotals(n, p int) ExactCounts {
 	return ExactCounts{Msgs: msgs, Volume: volume}
 }
 
+// StreamSnapshotExact returns the exact traffic of one incremental-TSQR
+// snapshot barrier over `domains` streaming ranks: the snapshot walks
+// the same rooted reduction tree as a TSQR combine — one packed n×n
+// triangle per merge, domains−1 merges — and the folds themselves move
+// nothing (each rank folds only rows it owns). The grid-tuned tree
+// roots at rank 0, so no final-delivery hop is added; its inter-site
+// message count per snapshot is TSQRExactCrossSite(sites).
+func StreamSnapshotExact(n, domains int) ExactCounts {
+	return TSQRExactTotals(n, domains)
+}
+
 // Time is Equation 1: time = β·msgs + α·volume + γ·flops, with β the
 // latency (s), alphaInv the bandwidth (bytes/s) and rate the floating
 // point rate (flop/s).

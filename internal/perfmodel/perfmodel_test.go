@@ -191,3 +191,23 @@ func TestBestDomainsTrends(t *testing.T) {
 		t.Fatalf("small-M best domains = %d want 64", dSmall)
 	}
 }
+
+func TestStreamSnapshotExact(t *testing.T) {
+	// A stream snapshot is one TSQR reduction over the per-rank running
+	// R's: folds move no bytes, so the per-snapshot traffic is exactly
+	// the TSQR combine tree's — p-1 messages, one packed triangle each.
+	for _, tc := range []struct{ n, p int }{{4, 1}, {16, 8}, {32, 12}} {
+		got := StreamSnapshotExact(tc.n, tc.p)
+		want := TSQRExactTotals(tc.n, tc.p)
+		if got != want {
+			t.Fatalf("n=%d p=%d: %+v want %+v", tc.n, tc.p, got, want)
+		}
+		if got.Msgs != float64(tc.p-1) {
+			t.Fatalf("n=%d p=%d: msgs %g want %d", tc.n, tc.p, got.Msgs, tc.p-1)
+		}
+		tri := 8 * float64(tc.n*(tc.n+1)/2)
+		if got.Volume != got.Msgs*tri {
+			t.Fatalf("n=%d p=%d: volume %g want %g", tc.n, tc.p, got.Volume, got.Msgs*tri)
+		}
+	}
+}

@@ -27,6 +27,10 @@ const (
 	KindCholQR
 	// KindLstSq solves min‖A·x−b‖₂ through TSQR (data mode only).
 	KindLstSq
+	// KindStream is an always-on incremental TSQR: the job is a
+	// long-lived stream handle (SubmitStream) whose rounds fold arriving
+	// row blocks into per-rank running R's and serve snapshot barriers.
+	KindStream
 )
 
 func (k Kind) String() string {
@@ -39,6 +43,8 @@ func (k Kind) String() string {
 		return "cholqr"
 	case KindLstSq:
 		return "lstsq"
+	case KindStream:
+		return "stream"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -59,7 +65,17 @@ type JobSpec struct {
 	Priority int
 	// Deadline bounds the queue wait: a job still undispatched after
 	// this duration completes with ErrDeadlineExceeded. Zero = none.
+	// For KindStream it instead bounds each snapshot request: a request
+	// not served within the deadline is shed typed, and the in-flight
+	// round is cut at its next block boundary (folds already committed
+	// are kept — shedding loses no blocks).
 	Deadline time.Duration
+	// BlockRows is the KindStream ingest granularity: global rows per
+	// streamed block. Block b covers global rows
+	// [b·BlockRows, (b+1)·BlockRows), strided over the partition's
+	// ranks, so the partition of rows — and hence the folded R — does
+	// not depend on how ingest calls are grouped.
+	BlockRows int
 	// Batchable allows the scheduler to stack this job with other
 	// compatible TSQR jobs into one block-diagonal factorization when
 	// the performance model says the fused reduction is cheaper.
@@ -167,6 +183,10 @@ type Job struct {
 	// placement penalizes it and stealing skips it, so the resume really
 	// lands elsewhere instead of being stolen straight back.
 	avoid int
+	// stream is non-nil for KindStream round jobs: the long-lived stream
+	// handle the round folds into. The runner commits (or rolls back)
+	// the handle's state when the round finishes.
+	stream *StreamJob
 }
 
 // Spec returns the job's submitted specification.
@@ -201,6 +221,21 @@ func (j *Job) complete(res JobResult) {
 // (rows per rank ≥ N), CAQR row blocks must divide by its panel width,
 // and least-squares needs data mode.
 func (s *Server) validate(spec JobSpec) error {
+	if spec.Kind == KindStream {
+		if spec.N < 1 {
+			return &SpecError{Reason: fmt.Sprintf("stream needs N >= 1, got %d", spec.N)}
+		}
+		if spec.BlockRows < 1 {
+			return &SpecError{Reason: fmt.Sprintf("stream needs BlockRows >= 1, got %d", spec.BlockRows)}
+		}
+		if spec.Batchable || spec.Preemptible {
+			return &SpecError{Reason: "stream jobs are neither batchable nor preemptible (rounds always preempt at block boundaries)"}
+		}
+		return nil
+	}
+	if spec.BlockRows != 0 {
+		return &SpecError{Reason: "BlockRows is only meaningful for stream jobs"}
+	}
 	if spec.M < 1 || spec.N < 1 || spec.M < spec.N {
 		return &SpecError{Reason: fmt.Sprintf("need M >= N >= 1, got %dx%d", spec.M, spec.N)}
 	}

@@ -70,6 +70,14 @@ type SLO struct {
 	Partitions     int          `json:"partitions"`
 	Latency        SLOQuantiles `json:"latency"`
 	QueueWait      SLOQuantiles `json:"queue_wait"`
+
+	// Streaming ingest: cumulative fold/snapshot counts and the per-block
+	// fold and snapshot barrier latency distributions.
+	StreamBlocks    int64        `json:"stream_blocks,omitempty"`
+	StreamSnapshots int64        `json:"stream_snapshots,omitempty"`
+	StreamShed      int64        `json:"stream_shed,omitempty"`
+	StreamFold      SLOQuantiles `json:"stream_fold,omitempty"`
+	StreamSnapshot  SLOQuantiles `json:"stream_snapshot,omitempty"`
 }
 
 // SLO returns the current service-level snapshot.
@@ -93,6 +101,12 @@ func (s *Server) SLO() SLO {
 		Partitions:     nparts,
 		Latency:        quantiles(m.latency),
 		QueueWait:      quantiles(m.queueWait),
+
+		StreamBlocks:    int64(m.streamBlocks.Value()),
+		StreamSnapshots: int64(m.streamSnapshots.Value()),
+		StreamShed:      int64(m.streamShed.Value()),
+		StreamFold:      quantiles(m.streamFold),
+		StreamSnapshot:  quantiles(m.streamSnap),
 	}
 }
 

@@ -132,7 +132,10 @@ func runnable(j *Job) error {
 	if j.canceled.Load() {
 		return ErrCanceled
 	}
-	if j.spec.Deadline > 0 && time.Since(j.submit) > j.spec.Deadline {
+	// A stream round's spec deadline bounds snapshot requests (enforced
+	// by the stream's shed path), not the round itself: expiring a
+	// queued round would discard committed folds for no reason.
+	if j.stream == nil && j.spec.Deadline > 0 && time.Since(j.submit) > j.spec.Deadline {
 		return ErrDeadlineExceeded
 	}
 	return nil

@@ -33,6 +33,7 @@ import (
 	"gridqr/internal/mpi"
 	"gridqr/internal/perfmodel"
 	"gridqr/internal/scalapack"
+	"gridqr/internal/stream"
 	"gridqr/internal/telemetry"
 )
 
@@ -119,7 +120,8 @@ type partition struct {
 	retired atomic.Bool
 }
 
-// jobExec is one dispatched execution: a single job or a fused batch.
+// jobExec is one dispatched execution: a single job, a fused batch, or
+// one stream round.
 type jobExec struct {
 	id         int64 // first job's id
 	attempt    int   // retries + preemptions; keeps comm labels unique
@@ -129,6 +131,14 @@ type jobExec struct {
 	resume     *core.StageCheckpoint // non-nil to resume from a checkpoint
 	dispatched time.Time
 	reports    chan memberReport
+
+	// Stream rounds only: the round parameters fixed at dispatch so every
+	// member runs the same round, the per-member state clones the round
+	// mutates (committed back on success, discarded on failure), and the
+	// snapshot requests this round's barrier will serve.
+	round        *stream.Round
+	streamStates []*stream.State
+	snapReqs     []*snapshotReq
 }
 
 // memberReport is one partition member's out-of-band account of an
@@ -146,6 +156,11 @@ type memberReport struct {
 	r          *matrix.Dense // leader only; stacked for batches
 	x          *matrix.Dense // leader only, KindLstSq
 	resid      []float64
+	// Stream rounds: blocks folded (identical on every member — the
+	// gate's latched agreement) and the SLO latency samples.
+	folded    int
+	foldTimes []time.Duration
+	snapTime  time.Duration
 }
 
 type serverMetrics struct {
@@ -157,26 +172,34 @@ type serverMetrics struct {
 	jobMsgs, jobBytes                      *telemetry.Histogram
 	queueDepth, inflight                   *telemetry.Gauge
 	epoch, partitions                      *telemetry.Gauge
+	streamBlocks, streamSnapshots          *telemetry.Counter
+	streamShed                             *telemetry.Counter
+	streamFold, streamSnap                 *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 	for name, help := range map[string]string{
-		"sched.jobs.submitted":     "jobs admitted to the queue",
-		"sched.jobs.completed":     "jobs finished successfully",
-		"sched.jobs.failed":        "jobs finished with an error",
-		"sched.jobs.rejected":      "submissions refused at admission",
-		"sched.jobs.expired":       "jobs that missed their deadline",
-		"sched.jobs.retries":       "re-dispatches after retryable failures",
-		"sched.jobs.preempted":     "tree-stage checkpoints taken from running jobs",
-		"sched.work.steals":        "jobs stolen from another partition's queue",
-		"sched.rejections":         "rejections and drops by typed reason",
-		"sched.queue.depth":        "jobs currently queued (per-partition series labeled)",
-		"sched.inflight":           "jobs currently dispatched and running",
-		"sched.epoch":              "current partition-plan epoch",
-		"sched.partitions":         "partitions in the current epoch",
-		"sched.queue_wait_seconds": "submission-to-dispatch latency",
-		"sched.latency_seconds":    "submission-to-completion latency",
-		"sched.service_seconds":    "dispatch-to-completion service time",
+		"sched.jobs.submitted":          "jobs admitted to the queue",
+		"sched.jobs.completed":          "jobs finished successfully",
+		"sched.jobs.failed":             "jobs finished with an error",
+		"sched.jobs.rejected":           "submissions refused at admission",
+		"sched.jobs.expired":            "jobs that missed their deadline",
+		"sched.jobs.retries":            "re-dispatches after retryable failures",
+		"sched.jobs.preempted":          "tree-stage checkpoints taken from running jobs",
+		"sched.work.steals":             "jobs stolen from another partition's queue",
+		"sched.rejections":              "rejections and drops by typed reason",
+		"sched.queue.depth":             "jobs currently queued (per-partition series labeled)",
+		"sched.inflight":                "jobs currently dispatched and running",
+		"sched.epoch":                   "current partition-plan epoch",
+		"sched.partitions":              "partitions in the current epoch",
+		"sched.queue_wait_seconds":      "submission-to-dispatch latency",
+		"sched.latency_seconds":         "submission-to-completion latency",
+		"sched.service_seconds":         "dispatch-to-completion service time",
+		"sched.stream.blocks":           "stream blocks folded and committed",
+		"sched.stream.snapshots":        "stream snapshot barriers served",
+		"sched.stream.shed":             "stream snapshot requests shed at their deadline",
+		"sched.stream.fold_seconds":     "per-block stream fold latency",
+		"sched.stream.snapshot_seconds": "stream snapshot barrier latency",
 	} {
 		reg.SetHelp(name, help)
 	}
@@ -201,6 +224,12 @@ func newServerMetrics(reg *telemetry.Registry) serverMetrics {
 		inflight:    reg.Gauge("sched.inflight"),
 		epoch:       reg.Gauge("sched.epoch"),
 		partitions:  reg.Gauge("sched.partitions"),
+
+		streamBlocks:    reg.Counter("sched.stream.blocks"),
+		streamSnapshots: reg.Counter("sched.stream.snapshots"),
+		streamShed:      reg.Counter("sched.stream.shed"),
+		streamFold:      reg.Histogram("sched.stream.fold_seconds"),
+		streamSnap:      reg.Histogram("sched.stream.snapshot_seconds"),
 	}
 }
 
@@ -441,6 +470,11 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		s.reject(spec, ErrServerClosed)
 		return nil, ErrServerClosed
 	}
+	if spec.Kind == KindStream {
+		err := &SpecError{Reason: "stream jobs are long-lived; use SubmitStream"}
+		s.reject(spec, err)
+		return nil, err
+	}
 	s.mu.Lock()
 	if err := s.validate(spec); err != nil {
 		s.mu.Unlock()
@@ -507,7 +541,7 @@ func (s *Server) placeLocked(j *Job, avoid int) *partition {
 		if p.retired.Load() || !p.healthy.Load() {
 			continue
 		}
-		if !fitsPartition(j.spec, p) {
+		if !fitsPartition(j, p) {
 			continue
 		}
 		score := p.q.len()
@@ -526,8 +560,16 @@ func (s *Server) placeLocked(j *Job, avoid int) *partition {
 
 // fitsPartition mirrors the per-partition feasibility checks of
 // admission for one partition (stealing and re-routing re-check them).
-func fitsPartition(spec JobSpec, p *partition) bool {
+func fitsPartition(j *Job, p *partition) bool {
+	spec := j.spec
 	procs := len(p.members)
+	if spec.Kind == KindStream {
+		// A stream pins its partition size at the first dispatch:
+		// resuming on a different size would change the strided row
+		// sharding and break the bitwise contract.
+		pinned := j.stream.procs.Load()
+		return pinned == 0 || int(pinned) == procs
+	}
 	if spec.M/procs < spec.N {
 		return false
 	}
@@ -662,6 +704,12 @@ func (s *Server) Reconfigure(plan Plan) error {
 // retry, no partition left). The caller has already removed it from any
 // queue.
 func (s *Server) dropJob(j *Job, err error) {
+	if j.stream != nil {
+		// A dropped round strands its stream: no partition can ever run
+		// another round, so the whole stream fails typed.
+		s.streamFail(j.stream, j, err)
+		return
+	}
 	switch {
 	case errors.Is(err, ErrCanceled):
 		s.metrics.canceled.Inc()
@@ -705,6 +753,8 @@ func (s *Server) runner(p *partition) {
 		s.mu.Unlock()
 
 		switch {
+		case ex.round != nil:
+			s.finishStreamRound(ex, out, service)
 		case out.err != nil:
 			for _, j := range ex.jobs {
 				s.failOrRetry(j, out.err)
@@ -775,7 +825,7 @@ func (s *Server) stealLocked(p *partition) (*Job, bool) {
 		return nil, false
 	}
 	j, ok := victim.q.popMatch(func(o *Job) bool {
-		if !fitsPartition(o.spec, p) || o.avoid == p.index {
+		if !fitsPartition(o, p) || o.avoid == p.index {
 			return false
 		}
 		// Leave a checkpointed job for a partition that can resume it.
@@ -814,6 +864,9 @@ func (s *Server) buildExecLocked(p *partition, j *Job) *jobExec {
 		jobs:    jobs,
 		part:    p,
 		reports: make(chan memberReport, len(p.members)),
+	}
+	if j.stream != nil {
+		j.stream.buildRound(ex)
 	}
 	if len(jobs) == 1 && j.spec.Preemptible {
 		ex.gate = core.NewPreemptGate()
@@ -1155,6 +1208,25 @@ func (s *Server) execute(ctx *mpi.Ctx, jcomm *mpi.Comm, ex *jobExec) memberRepor
 	p := jcomm.Size()
 	me := jcomm.Rank()
 	spec := ex.jobs[0].spec
+
+	if spec.Kind == KindStream {
+		// A dedicated long-lived stream context: Dup gives the round a
+		// tag namespace disjoint from anything else on the job path, so
+		// a retried round after a failure can never alias a stale
+		// message from the attempt it replaces.
+		scomm := jcomm.Dup("stream")
+		res := stream.RunRound(scomm, ex.streamStates[me], *ex.round)
+		rep := memberReport{
+			preempted: res.Preempted,
+			folded:    res.Folded,
+			foldTimes: res.FoldTimes,
+			snapTime:  res.SnapTime,
+		}
+		if me == 0 {
+			rep.r = res.R
+		}
+		return rep
+	}
 
 	if len(ex.jobs) > 1 {
 		// Fused batch: factor diag(A₁..A_k) in one reduction tree.

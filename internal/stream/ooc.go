@@ -1,0 +1,49 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"gridqr/internal/matrix"
+	"gridqr/internal/mmio"
+)
+
+// DefaultReadRows is the out-of-core I/O granularity (rows per read
+// panel) when the caller passes 0.
+const DefaultReadRows = 64
+
+// OutOfCore factors a matrix far larger than memory: panels stream off
+// a row-ordered coordinate Matrix Market reader (mmio.ReadPanels) and
+// fold through a Folder, so residency is O(readRows·n + panel·n + n²)
+// — the sequential CAQR of Demmel et al. with R carried in cache. The
+// result is bitwise identical to pushing the whole matrix through a
+// Folder at once (granularity invariance: the read granularity cannot
+// change a single bit of R), and matches the in-memory QR of the
+// densified matrix to rounding.
+//
+// readRows is the I/O granularity (0 = DefaultReadRows); foldRows is
+// the folder's internal panel height (0 = DefaultPanelRows). Returns
+// the n×n R.
+func OutOfCore(r io.Reader, readRows, foldRows int) (*matrix.Dense, error) {
+	if readRows == 0 {
+		readRows = DefaultReadRows
+	}
+	var f *Folder
+	_, n, err := mmio.ReadPanels(r, readRows, func(p *matrix.Dense, _ int) error {
+		if f == nil {
+			if p.Cols < 1 {
+				return fmt.Errorf("stream: matrix has no columns")
+			}
+			f = NewFolder(p.Cols, foldRows)
+		}
+		f.Push(p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("stream: empty matrix (%d columns, no rows)", n)
+	}
+	return f.SnapshotLocal(), nil
+}
